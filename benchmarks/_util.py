@@ -1,0 +1,19 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one artifact of the paper (a table, a figure, or a
+stated claim), asserts its *shape*, prints it, and saves it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote exact runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a bench artifact and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,52 @@
+"""E7 — Section III-D-3: MT(k) recognizes a log in O(nqk) time.
+
+Cost unit: timestamp-element comparisons (the dominant cost the paper
+counts).  The sweep varies n, q, and k one at a time; measured cost grows
+linearly in n and q and stays bounded by the k term (O(nqk) is a worst
+case — the deciding position of most comparisons is far left of k).
+"""
+
+from repro.analysis.complexity import measure_cost
+from repro.analysis.report import render_table
+
+from benchmarks._util import save_result
+
+
+def measure_base():
+    return measure_cost(8, 4, 4, seed=0, trials=3)
+
+
+def test_complexity_nqk(benchmark):
+    benchmark(measure_base)
+
+    rows = []
+    # Linear in n: per-operation cost stays flat as n grows.
+    n_samples = [measure_cost(n, 4, 4, seed=1) for n in (4, 8, 16, 32)]
+    for s in n_samples:
+        rows.append([s.n, s.q, s.k, s.operations, s.element_visits,
+                     round(s.visits_per_op, 2)])
+    per_op = [s.visits_per_op for s in n_samples]
+    assert max(per_op) / min(per_op) < 1.7
+
+    # Linear in q: total cost tracks q at fixed n, k.
+    q_samples = [measure_cost(8, q, 4, seed=2) for q in (2, 4, 8)]
+    for s in q_samples:
+        rows.append([s.n, s.q, s.k, s.operations, s.element_visits,
+                     round(s.visits_per_op, 2)])
+    totals = [s.element_visits for s in q_samples]
+    assert totals[1] / totals[0] > 1.5 and totals[2] / totals[1] > 1.5
+
+    # Bounded by k: per-comparison cost never exceeds k (and the total
+    # never exceeds the nqk bound with the ~2-comparisons-per-op factor).
+    k_samples = [measure_cost(8, 4, k, seed=3) for k in (1, 2, 4, 8, 16)]
+    for s in k_samples:
+        rows.append([s.n, s.q, s.k, s.operations, s.element_visits,
+                     round(s.visits_per_op, 2)])
+        assert s.element_visits <= 2 * s.operations * s.k
+
+    table = render_table(
+        ["n", "q", "k", "ops", "element visits", "visits/op"],
+        rows,
+        title="O(nqk) sweep (element comparisons, averaged over 5 logs)",
+    )
+    save_result("complexity_nqk", table)

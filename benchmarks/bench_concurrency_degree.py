@@ -1,0 +1,87 @@
+"""E16 — Section III-C: the degree of concurrency, measured.
+
+Papadimitriou's yardstick over a shared stream of random logs: how many
+logs does each protocol accept?  Expected shape (the Fig. 4 story):
+
+* MT(k*) accepts the most among the timestamp protocols (it is the union);
+* MT(3) and MT(1) are incomparable, both below the union;
+* the strict online 2PL scheduler and conventional TO accept fewer;
+* every acceptance set sits inside DSR (measured, not assumed).
+"""
+
+from repro.analysis.concurrency import acceptance_table, containment_matrix
+from repro.analysis.report import render_table
+from repro.classes.membership import is_dsr
+from repro.core.composite import MTkStarScheduler
+from repro.core.mtk import MTkScheduler
+from repro.engine.interval import IntervalScheduler
+from repro.engine.optimistic import OptimisticScheduler
+from repro.engine.to_scheduler import ConventionalTOScheduler
+from repro.engine.two_pl_scheduler import StrictTwoPLScheduler
+from repro.model.generator import WorkloadSpec, random_logs
+
+from benchmarks._util import save_result
+
+SPEC = WorkloadSpec(num_txns=4, ops_per_txn=3, num_items=4, write_ratio=0.5)
+LOGS = list(random_logs(SPEC, 500, seed=31))
+
+SCHEDULERS = [
+    MTkStarScheduler(5),
+    MTkStarScheduler(3),
+    MTkScheduler(3, read_rule="none"),
+    MTkScheduler(2, read_rule="none"),
+    MTkScheduler(1, read_rule="none"),
+    MTkScheduler(3),  # with the line-9 read fallback
+    MTkScheduler(1),
+    ConventionalTOScheduler(),
+    StrictTwoPLScheduler(),
+    OptimisticScheduler(),
+    IntervalScheduler(),
+]
+
+#: Distinguish the two MT(k) variants in the report.
+for _s in SCHEDULERS:
+    if isinstance(_s, MTkScheduler) and not isinstance(_s, MTkStarScheduler):
+        if _s.read_rule == "none":
+            _s.name = f"MT({_s.k}) no-line9"
+
+
+def measure():
+    return acceptance_table(SCHEDULERS, LOGS)
+
+
+def test_degree_of_concurrency(benchmark):
+    rows = benchmark(measure)
+    counts = {row.name: row.accepted for row in rows}
+    dsr_count = sum(is_dsr(log) for log in LOGS)
+
+    # Shapes from the paper:
+    assert counts["MT(5*)"] >= counts["MT(3*)"]  # inclusivity
+    # The union dominates each of its subprotocols (same read rule).
+    for name in ("MT(1) no-line9", "MT(2) no-line9", "MT(3) no-line9"):
+        assert counts["MT(3*)"] >= counts[name]
+    assert counts["MT(3*)"] > counts["2PL(strict)"]
+    # The line-9 read fallback is worth real acceptance on its own.
+    assert counts["MT(3)"] >= counts["MT(3) no-line9"]
+    for row in rows:
+        assert row.accepted <= dsr_count or row.name == "OPT"
+
+    # Observed containment: the strict 2PL scheduler sits inside MT(3*)?
+    # Not a theorem — report it instead of asserting.
+    matrix = containment_matrix(
+        [MTkStarScheduler(3), StrictTwoPLScheduler()], LOGS
+    )
+
+    printable = [
+        [row.name, row.accepted, f"{row.rate:.3f}"] for row in rows
+    ] + [["(DSR upper bound)", dsr_count, f"{dsr_count / len(LOGS):.3f}"]]
+    table = render_table(
+        ["scheduler", "accepted", "rate"],
+        printable,
+        title=f"Degree of concurrency over {len(LOGS)} random logs",
+    )
+    extra = (
+        f"\nobserved: 2PL(strict) subset of MT(3*): "
+        f"{matrix[('2PL(strict)', 'MT(3*)')]}"
+    )
+    save_result("concurrency_degree", table + extra)

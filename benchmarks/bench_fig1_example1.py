@@ -1,0 +1,47 @@
+"""E1 — Example 1 / Fig. 1: MT(2) accepts the log conventional TO aborts.
+
+Paper claim: with scalar timestamps, ``R3[x]`` before ``R2[y]`` prematurely
+orders T3 after T2, so the later ``W3[y]`` (requiring T2 before T3) aborts
+T3.  MT(2) leaves T2 and T3 equal until the real conflict and accepts the
+whole log, serializing T1 T2 T3.
+"""
+
+from repro.analysis.report import render_table, render_vector
+from repro.core.mtk import MTkScheduler
+from repro.engine.to_scheduler import ConventionalTOScheduler
+from repro.model.log import Log
+
+from benchmarks._util import save_result
+
+EXAMPLE1 = Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+
+
+def schedule_with_mt2() -> bool:
+    return MTkScheduler(2).accepts(EXAMPLE1)
+
+
+def test_example1_mt2_vs_conventional_to(benchmark):
+    accepted = benchmark(schedule_with_mt2)
+    assert accepted
+
+    to_result = ConventionalTOScheduler().run(EXAMPLE1)
+    assert to_result.aborted == {3}
+
+    scheduler = MTkScheduler(2)
+    scheduler.run(EXAMPLE1)
+    assert scheduler.serialization_order() == [1, 2, 3]
+
+    rows = [
+        ["MT(2)", "accepts", "T1 T2 T3"],
+        ["conventional TO", "aborts T3", "-"],
+    ]
+    table = render_table(
+        ["scheduler", "outcome", "serialization"],
+        rows,
+        title=f"Example 1: L = {EXAMPLE1}",
+    )
+    vectors = "\n".join(
+        f"TS({t}) = {render_vector(scheduler.table.vector(t).snapshot())}"
+        for t in (1, 2, 3)
+    )
+    save_result("fig1_example1", table + "\n\nfinal vectors:\n" + vectors)

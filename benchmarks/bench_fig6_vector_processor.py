@@ -1,0 +1,58 @@
+"""E6 — Figs. 6-7 / Theorem 4: parallel vector comparison in O(log k).
+
+Replays the exact Fig. 6 example, then sweeps the vector size to show the
+parallel step count grows logarithmically (4 constant phases + a prefix-OR
+tree of height ceil(log2 k)) while the sequential worst case grows
+linearly.  The benchmark measures the simulated SIMD comparator.
+"""
+
+import math
+
+from repro.analysis.report import render_table
+from repro.core.timestamp import TimestampVector
+from repro.core.vector_processor import (
+    VectorComparator,
+    parallel_step_bound,
+    sequential_step_count,
+)
+
+from benchmarks._util import save_result
+
+FIG6_LEFT = TimestampVector(4, (1, 3, 2, 2))
+FIG6_RIGHT = TimestampVector(4, (1, 3, 5, 2))
+
+
+def compare_fig6():
+    return VectorComparator(4).compare(FIG6_LEFT, FIG6_RIGHT)
+
+
+def _worst_case_pair(k: int):
+    left = TimestampVector(k, list(range(k - 1)) + [1])
+    right = TimestampVector(k, list(range(k - 1)) + [2])
+    return left, right
+
+
+def test_fig6_parallel_comparison(benchmark):
+    result = benchmark(compare_fig6)
+    # Fig. 6: the third elements are the first differing pair.
+    assert result.comparison.position == 3
+    assert result.comparison.ordering.value == "<"
+    assert result.parallel_steps == 6  # 4 phases + log2(4) tree
+
+    rows = []
+    for k in (2, 4, 8, 16, 64, 256, 1024):
+        left, right = _worst_case_pair(k)
+        parallel = VectorComparator(k).compare(left, right).parallel_steps
+        sequential = sequential_step_count(left, right)
+        assert parallel == parallel_step_bound(k)
+        assert sequential == k
+        rows.append([k, sequential, parallel, round(sequential / parallel, 1)])
+        # Theorem 4 shape: parallel steps are O(log k).
+        assert parallel <= 4 + max(1, math.ceil(math.log2(k))) + 1
+
+    table = render_table(
+        ["k", "sequential steps", "parallel steps", "speedup"],
+        rows,
+        title="Theorem 4: worst-case comparison cost vs vector size",
+    )
+    save_result("fig6_vector_processor", table)

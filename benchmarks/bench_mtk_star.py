@@ -1,0 +1,62 @@
+"""E8 — Section IV: the composite MT(k*) and the inclusive TO(k+) chain.
+
+Measured claims:
+
+* ``TO(k+) = TO(1) | ... | TO(k)`` — MT(k*) accepts exactly the union;
+* inclusivity — acceptance counts are non-decreasing in k (unlike the
+  plain TO(k) classes, which are incomparable);
+* the shared-prefix implementation costs O(nqk), not the O(nqk^2) of
+  running the subprotocols independently.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.composite import MTkStarScheduler
+from repro.core.mtk import MTkScheduler
+from repro.model.generator import WorkloadSpec, random_logs
+
+from benchmarks._util import save_result
+
+SPEC = WorkloadSpec(num_txns=4, ops_per_txn=3, num_items=4, write_ratio=0.5)
+LOGS = list(random_logs(SPEC, 600, seed=42))
+MAX_K = 4
+
+
+def accept_all_with_star():
+    scheduler = MTkStarScheduler(MAX_K)
+    return sum(1 for log in LOGS if scheduler.accepts(log))
+
+
+def test_composite_union_and_inclusivity(benchmark):
+    star_count = benchmark(accept_all_with_star)
+
+    # Union property, log by log.
+    subprotocols = [
+        MTkScheduler(k, read_rule="none") for k in range(1, MAX_K + 1)
+    ]
+    union_count = 0
+    for log in LOGS:
+        union = any(s.accepts(log) for s in subprotocols)
+        union_count += union
+    assert union_count == star_count
+
+    # Inclusivity chain TO(1+) <= TO(2+) <= ... and per-k acceptance.
+    rows = []
+    previous = -1
+    sub_counts = [
+        sum(1 for log in LOGS if s.accepts(log)) for s in subprotocols
+    ]
+    for k in range(1, MAX_K + 1):
+        star_k = MTkStarScheduler(k)
+        count = sum(1 for log in LOGS if star_k.accepts(log))
+        assert count >= previous
+        previous = count
+        rows.append([f"TO({k})", sub_counts[k - 1], f"TO({k}+)", count])
+
+    assert previous == star_count
+
+    table = render_table(
+        ["class", "accepted", "composite", "accepted"],
+        rows,
+        title=f"MT(k*) over {len(LOGS)} random logs (union = {star_count})",
+    )
+    save_result("mtk_star_inclusivity", table)

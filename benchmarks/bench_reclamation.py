@@ -1,0 +1,75 @@
+"""E19 (ablation) — timestamp-table storage (III-D-6a/b).
+
+The paper: the live table "can normally fit in main memory" at a
+multiprogramming level of 8-10 transactions, because a committed
+transaction's row is reclaimed "as soon as the transaction is committed
+and it will not be used for the most recent read or write timestamp".
+Measured: over a long stream of transaction batches, the un-reclaimed
+table grows linearly while the reclaimed one stays near the active
+population — and reclamation never changes a scheduling decision.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.core.mtk import MTkScheduler
+from repro.model.operations import read, write
+
+from benchmarks._util import save_result
+
+BATCHES = 25
+TXNS_PER_BATCH = 9  # the III-D-6a multiprogramming level
+OPS_PER_TXN = 3
+ITEMS = [f"x{i}" for i in range(8)]
+
+
+def run_stream(reclaim: bool, seed: int = 0):
+    scheduler = MTkScheduler(3)
+    rng = random.Random(seed)
+    peak = 0
+    decisions = []
+    for batch in range(BATCHES):
+        base = batch * TXNS_PER_BATCH
+        for txn in range(base + 1, base + TXNS_PER_BATCH + 1):
+            for _ in range(OPS_PER_TXN):
+                if txn in scheduler.aborted:
+                    break
+                item = rng.choice(ITEMS)
+                op = (
+                    read(txn, item)
+                    if rng.random() < 0.6
+                    else write(txn, item)
+                )
+                decisions.append(scheduler.process(op).status)
+            if txn not in scheduler.aborted:
+                scheduler.commit(txn)
+        if reclaim:
+            scheduler.reclaim_committed(include_aborted=True)
+        peak = max(peak, scheduler.table_size)
+    return peak, scheduler.table_size, decisions
+
+
+def test_reclamation_bounds_table(benchmark):
+    peak_on, final_on, decisions_on = benchmark(lambda: run_stream(True))
+    peak_off, final_off, decisions_off = run_stream(False)
+
+    total_txns = BATCHES * TXNS_PER_BATCH
+    # Without reclamation the table holds every transaction ever seen.
+    assert peak_off >= total_txns * 0.9
+    # With it, the live table stays within a small multiple of one batch.
+    assert peak_on <= 4 * TXNS_PER_BATCH
+    # And reclamation is invisible to the decisions themselves.
+    assert decisions_on == decisions_off
+
+    table = render_table(
+        ["policy", "peak table rows", "final table rows"],
+        [
+            ["no reclamation", peak_off, final_off],
+            ["III-D-6b reclamation", peak_on, final_on],
+        ],
+        title=(
+            f"Timestamp-table storage over {total_txns} transactions "
+            f"({TXNS_PER_BATCH} active at a time)"
+        ),
+    )
+    save_result("reclamation", table)

@@ -1,0 +1,50 @@
+"""E2 — Example 2 / Fig. 3 / Table I: the exact vector recording of MT(2).
+
+Regenerates Table I row for row: the dependency edges a-e and the vector
+values they encode, asserted against the paper's printed values.
+"""
+
+from repro.analysis.report import render_vector_table
+from repro.core.mtk import MTkScheduler
+from repro.model.log import Log
+
+from benchmarks._util import save_result
+
+EXAMPLE2 = Log.parse("R1[x] R2[y] R3[z] W1[y] W1[z]")
+
+#: Table I of the paper: resulting vector after each dependency edge.
+TABLE_I = {
+    1: {1: (1, None)},  # a: T0 -> T1
+    2: {2: (1, None)},  # b: T0 -> T2
+    3: {3: (1, None)},  # c: T0 -> T3
+    4: {1: (1, 2), 2: (1, 1)},  # d: T2 -> T1
+    5: {3: (1, 0)},  # e: T3 -> T1
+}
+
+EDGE_LABELS = ["a: T0->T1", "b: T0->T2", "c: T0->T3", "d: T2->T1", "e: T3->T1"]
+
+
+def replay() -> list:
+    scheduler = MTkScheduler(2, trace=True)
+    return scheduler.run(EXAMPLE2).trace
+
+
+def test_table1_recording(benchmark):
+    trace = benchmark(replay)
+    for op_index, expected in TABLE_I.items():
+        snapshot = trace[op_index - 1]
+        for txn, vector in expected.items():
+            assert snapshot[txn] == vector, f"row {op_index}, TS({txn})"
+
+    # Resulting vectors (last row of Table I).
+    final = trace[-1]
+    assert final[0] == (0, None)
+    assert final[1] == (1, 2)
+    assert final[2] == (1, 1)
+    assert final[3] == (1, 0)
+
+    labeled = list(zip(EDGE_LABELS, trace))
+    table = render_vector_table(
+        labeled, txns=[0, 1, 2, 3], title=f"Table I: L = {EXAMPLE2}"
+    )
+    save_result("table1_example2", table)

@@ -1,0 +1,58 @@
+"""E22 (implementation) — scheduling throughput of every protocol.
+
+Not a paper claim — the 1986 paper has no implementation — but the
+standard systems question for a library: operations scheduled per second
+for each controller on the same moderately contended stream.  The
+assertions only pin *relative sanity* (every protocol processes the
+stream; MT(k)'s cost grows sub-linearly with k thanks to early-deciding
+comparisons); absolute numbers land in the pytest-benchmark table.
+"""
+
+import pytest
+
+from repro.core.composite import MTkStarScheduler
+from repro.core.distributed import DMTkScheduler
+from repro.core.mtk import MTkScheduler
+from repro.core.multiversion import MVMTkScheduler
+from repro.core.nested import NestedScheduler
+from repro.engine.interval import IntervalScheduler
+from repro.engine.optimistic import OptimisticScheduler
+from repro.engine.to_scheduler import ConventionalTOScheduler
+from repro.engine.two_pl_scheduler import StrictTwoPLScheduler
+from repro.model.generator import WorkloadSpec, random_logs
+
+SPEC = WorkloadSpec(num_txns=9, ops_per_txn=4, num_items=24, write_ratio=0.35)
+LOGS = list(random_logs(SPEC, 40, seed=61))
+TOTAL_OPS = sum(len(log) for log in LOGS)
+
+
+def _drive(scheduler) -> int:
+    processed = 0
+    for log in LOGS:
+        result = scheduler.run(log, stop_on_reject=True)
+        processed += len(result.decisions)
+    return processed
+
+
+SCHEDULERS = {
+    "mt1": lambda: MTkScheduler(1),
+    "mt3": lambda: MTkScheduler(3),
+    "mt7": lambda: MTkScheduler(7),
+    "mtstar3": lambda: MTkStarScheduler(3),
+    "mvmt3": lambda: MVMTkScheduler(3),
+    "nested22": lambda: NestedScheduler(
+        2, 2, {t: (t % 3) + 1 for t in range(1, 10)}
+    ),
+    "dmt3x4": lambda: DMTkScheduler(3, num_sites=4),
+    "two_pl": lambda: StrictTwoPLScheduler(),
+    "scalar_to": lambda: ConventionalTOScheduler(),
+    "optimistic": lambda: OptimisticScheduler(),
+    "interval": lambda: IntervalScheduler(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_throughput(benchmark, name):
+    factory = SCHEDULERS[name]
+    processed = benchmark(lambda: _drive(factory()))
+    assert 0 < processed <= TOTAL_OPS

@@ -1,0 +1,119 @@
+"""E13 — Section VI-B: choosing the timestamp vector size.
+
+Measured guidelines:
+
+a) under heavy conflict, larger vectors buy acceptance (more dependencies
+   can be encoded before vectors become totally ordered);
+b) acceptance saturates at k = 2q - 1 (Theorem 3) — storage beyond that is
+   wasted;
+c) the low-conflict regime is insensitive to k.
+"""
+
+from repro.analysis.concurrency import acceptance_by_dimension
+from repro.analysis.report import render_table
+from repro.core.composite import MTkStarScheduler
+from repro.core.mtk import MTkScheduler
+from repro.model.generator import WorkloadSpec, random_logs
+
+from benchmarks._util import save_result
+
+HIGH = WorkloadSpec(
+    num_txns=4, ops_per_txn=2, num_items=2, write_ratio=0.5,
+    two_step_model=True,
+)
+LOW = WorkloadSpec(
+    num_txns=4, ops_per_txn=2, num_items=24, write_ratio=0.3,
+    two_step_model=True,
+)
+MAX_K = 6
+
+
+def _dsr_stream(spec, seed, count=300):
+    """Serializable logs only: a protocol can never accept a non-DSR log,
+    so the vector-size guideline is about how much of the *attainable*
+    class each k captures."""
+    from repro.classes.membership import is_dsr
+
+    return [log for log in random_logs(spec, count, seed=seed) if is_dsr(log)]
+
+
+def sweep_high_conflict():
+    logs = _dsr_stream(HIGH, seed=17)
+    counts = acceptance_by_dimension(
+        logs, MAX_K, scheduler_factory=lambda k: MTkStarScheduler(k)
+    )
+    return counts, len(logs)
+
+
+def test_vector_size_guidelines(benchmark):
+    high, high_total = benchmark(sweep_high_conflict)
+    low_logs = _dsr_stream(LOW, seed=18)
+    low_total = len(low_logs)
+    low = acceptance_by_dimension(
+        low_logs, MAX_K, scheduler_factory=lambda k: MTkStarScheduler(k)
+    )
+
+    q = 2  # both specs: two-step transactions of <= 2q operations... q = 2
+    saturation = 2 * q - 1  # Theorem 3: k = 3
+
+    # (b) saturation: no gain beyond 2q - 1 in either regime.
+    for counts in (high, low):
+        for k in range(saturation, MAX_K):
+            assert counts[k + 1] == counts[saturation]
+    # Acceptance grows from k = 1 to saturation where conflicts exist.
+    assert high[saturation] > high[1]
+    assert low[saturation] >= low[1]
+
+    # (a) "if the amount of conflict among transactions is large, most of
+    # the vector elements tend to be set" — within one stream of accepted
+    # logs, correlate each log's dependency-edge count with its final
+    # vector fill fraction (defined elements / (vectors x k)).
+    from repro.model.dependency import dependency_pairs
+
+    fill_spec = WorkloadSpec(
+        num_txns=4, ops_per_txn=3, num_items=8, write_ratio=0.4
+    )
+    fill_k = 5
+    samples = []
+    for log in _dsr_stream(fill_spec, seed=17, count=1200):
+        scheduler = MTkScheduler(fill_k)
+        if not scheduler.accepts(log):
+            continue
+        defined = sum(
+            scheduler.table.vector(t).defined_count()
+            for t in scheduler.table.known_txns()
+            if t != 0
+        )
+        fill = defined / (fill_k * len(log.txn_ids))
+        samples.append((len(dependency_pairs(log)), fill))
+    samples.sort()
+    quartile = max(1, len(samples) // 4)
+    low_fill = sum(f for _, f in samples[:quartile]) / quartile
+    high_fill = sum(f for _, f in samples[-quartile:]) / quartile
+    assert high_fill > low_fill  # more conflict -> more elements set
+    pressure = {"low_fill": low_fill, "high_fill": high_fill}
+
+    rows = [
+        [
+            k,
+            f"{high[k]}/{high_total}",
+            f"{low[k]}/{low_total}",
+            "<- saturation (2q-1)" if k == saturation else "",
+        ]
+        for k in range(1, MAX_K + 1)
+    ]
+    table = render_table(
+        ["k", "accepted (high conflict)", "accepted (low conflict)", ""],
+        rows,
+        title=(
+            "Section VI-B: MT(k*) acceptance vs vector size "
+            "(serializable logs only)"
+        ),
+    )
+    extra = (
+        f"\nvector fill vs conflict (k={fill_k}, accepted logs, quartiles "
+        f"by dependency-edge count): least-conflicting = "
+        f"{pressure['low_fill']:.3f}, most-conflicting = "
+        f"{pressure['high_fill']:.3f}"
+    )
+    save_result("vector_size", table + extra)

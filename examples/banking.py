@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""A small banking workload scheduled by MT(k): transfers with retries.
+
+Run:  python examples/banking.py
+
+Ten accounts, a mix of transfers (read two accounts, write two accounts)
+and audits (read several accounts).  Each transaction is driven through an
+MT(3) scheduler with the starvation remedy; an abort rolls the transfer
+back and retries it.  The invariant checked at the end — total money is
+conserved — only holds if the scheduler really serialized the transfers.
+
+For comparison the same workload runs under the strict 2PL baseline and
+under conventional timestamp ordering; the summary shows each scheduler's
+restart count (the price of its degree of concurrency).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import MTkScheduler, read, write
+from repro.core import DecisionStatus, Scheduler
+from repro.engine import ConventionalTOScheduler, StrictTwoPLScheduler
+
+NUM_ACCOUNTS = 10
+INITIAL_BALANCE = 100
+NUM_TRANSFERS = 14
+NUM_AUDITS = 4
+
+
+@dataclass
+class Transfer:
+    txn_id: int
+    source: str
+    target: str
+    amount: int
+
+
+def build_workload(rng: random.Random):
+    accounts = [f"acct{i}" for i in range(NUM_ACCOUNTS)]
+    transfers = []
+    for txn_id in range(1, NUM_TRANSFERS + 1):
+        source, target = rng.sample(accounts, 2)
+        transfers.append(Transfer(txn_id, source, target, rng.randint(1, 25)))
+    audits = [
+        (NUM_TRANSFERS + i, rng.sample(accounts, 3))
+        for i in range(1, NUM_AUDITS + 1)
+    ]
+    return accounts, transfers, audits
+
+
+class _Job:
+    """One in-flight transaction: its remaining operations plus the
+    balance updates to undo on abort."""
+
+    def __init__(self, txn_id: int, steps, on_write=None):
+        self.txn_id = txn_id
+        self.steps = list(steps)
+        self.cursor = 0
+        self.undo: list[tuple[str, int]] = []
+        self.on_write = on_write
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.steps)
+
+
+def drive(
+    scheduler: Scheduler, seed: int = 7, window: int = 4
+) -> tuple[int, int]:
+    """Run the workload with up to *window* concurrently interleaved
+    transactions; returns (restarts, total balance)."""
+    rng = random.Random(seed)
+    accounts, transfers, audits = build_workload(rng)
+    balances = {account: INITIAL_BALANCE for account in accounts}
+    scheduler.reset()
+
+    def make_job(spec) -> _Job:
+        if isinstance(spec, Transfer):
+            t = spec
+            steps = [
+                read(t.txn_id, t.source),
+                read(t.txn_id, t.target),
+                write(t.txn_id, t.source),
+                write(t.txn_id, t.target),
+            ]
+
+            def on_write(item, transfer=t):
+                delta = (
+                    -transfer.amount
+                    if item == transfer.source
+                    else transfer.amount
+                )
+                balances[item] += delta
+                return delta
+
+            return _Job(t.txn_id, steps, on_write)
+        _, txn_id, accts = spec
+        return _Job(txn_id, [read(txn_id, a) for a in accts])
+
+    backlog: list = transfers + [
+        ("audit", txn_id, accts) for txn_id, accts in audits
+    ]
+    rng.shuffle(backlog)
+    specs = {  # for re-creating a job on retry
+        (spec.txn_id if isinstance(spec, Transfer) else spec[1]): spec
+        for spec in backlog
+    }
+    active: list[_Job] = []
+    restarts = 0
+    while backlog or active:
+        while backlog and len(active) < window:
+            active.append(make_job(backlog.pop(0)))
+        job = rng.choice(active)
+        op = job.steps[job.cursor]
+        decision = scheduler.process(op)
+        if decision.status is DecisionStatus.REJECT:
+            # Logical undo: reverse the applied deltas (deltas commute, so
+            # this stays correct under interleaved writers).
+            for account, delta in reversed(job.undo):
+                balances[account] -= delta
+            restart = getattr(scheduler, "restart", None)
+            if callable(restart):
+                restart(job.txn_id)
+            restarts += 1
+            if restarts > 500:
+                raise RuntimeError(f"{scheduler.name}: livelock")
+            active.remove(job)
+            backlog.append(specs[job.txn_id])  # retry later, from scratch
+            continue
+        if op.kind.is_write and decision.status is DecisionStatus.ACCEPT:
+            job.undo.append((op.item, job.on_write(op.item)))
+        job.cursor += 1
+        if job.done:
+            active.remove(job)
+            commit = getattr(scheduler, "commit", None)
+            if callable(commit):
+                commit(job.txn_id)  # strict 2PL releases its locks here
+    return restarts, sum(balances.values())
+
+
+def main() -> None:
+    expected_total = NUM_ACCOUNTS * INITIAL_BALANCE
+    print(f"{NUM_TRANSFERS} transfers + {NUM_AUDITS} audits over "
+          f"{NUM_ACCOUNTS} accounts (total money = {expected_total})\n")
+    for scheduler in (
+        MTkScheduler(3, anti_starvation=True),
+        StrictTwoPLScheduler(),
+        ConventionalTOScheduler(),
+    ):
+        restarts, total = drive(scheduler)
+        status = "OK" if total == expected_total else "BROKEN"
+        print(f"{scheduler.name:16s} restarts={restarts:3d} "
+              f"final total={total} [{status}]")
+        assert total == expected_total
+
+
+if __name__ == "__main__":
+    main()

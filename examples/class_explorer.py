@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Classify any log into the Fig. 4 hierarchy from the command line.
+
+Run:  python examples/class_explorer.py "W1[x] W1[y] R3[x] R2[y] W3[y]"
+      python examples/class_explorer.py            # tours the canon
+
+Prints the log's membership in 2PL, TO(1), TO(3), SSR, DSR, SR, the Fig. 4
+region it lands in, and — when it is serializable — an equivalent serial
+order.
+"""
+
+import sys
+
+from repro import Log
+from repro.classes import (
+    REGION_NAMES,
+    canonical_logs,
+    classify,
+    dsr_order,
+    region_of,
+)
+
+
+def explore(name: str, log: Log) -> None:
+    membership = classify(log)
+    region = region_of(membership)
+    print(f"{name}: {log}")
+    print(f"  membership: {membership}")
+    print(f"  Fig. 4 region {region}: {REGION_NAMES[region]}")
+    order = dsr_order(log)
+    if order is not None:
+        print(f"  equivalent serial order: {' '.join(f'T{t}' for t in order)}")
+    elif membership.sr:
+        print("  view-serializable only (no conflict-equivalent serial order)")
+    else:
+        print("  not serializable")
+    print()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        explore("input", Log.parse(" ".join(sys.argv[1:])))
+        return
+    for name, log in canonical_logs().items():
+        explore(name, log)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel`` package,
+so PEP 660 editable installs (which build an editable wheel) are not
+available.  This shim lets ``pip install -e . --no-use-pep517`` (and plain
+``python setup.py develop``) perform a legacy editable install instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""Serializability-number certificates (Definitions 2-5).
+
+The TO(k) definitions are stated in terms of real numbers ``s_i``: every
+ordered conflicting pair (and, by condition iv, read-read pair) must agree
+with the ``s`` order, and — Definition 5 — each ``s_i`` must lie strictly
+inside the unit interval below its vector's first element,
+``t_i - 1 < s_i < t_i``.
+
+This module *constructs* such numbers from a finished MT(k) run, turning
+the definitions into checkable certificates:
+
+* transactions are sorted topologically by their vector order (which, by
+  Theorem 2's argument, extends the dependency order);
+* lexicographic order implies ``TS(i) < TS(j) => t_i <= t_j``, so
+  transactions with smaller first elements get smaller intervals outright;
+* ties on the first element are broken by the topological rank inside the
+  group, placing the group's numbers at distinct rationals inside the
+  shared unit interval.
+
+:func:`verify_certificate` then checks conditions i)-iv) of Definitions
+2-3 directly against the log, independently of how the numbers were made.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.mtk import MTkScheduler
+from ..core.timestamp import UNDEFINED
+from ..model.log import Log
+
+
+class CertificateError(ValueError):
+    """The run cannot be certified (wrong scheduler state for the log)."""
+
+
+def serializability_numbers(scheduler: MTkScheduler) -> dict[int, Fraction]:
+    """Definition 5 numbers for every transaction of a finished run.
+
+    Requires that the run accepted all its operations (aborted
+    transactions have no serialization position).  Transactions whose
+    vector is still fresh (no accepted operation) are skipped.
+    """
+    if scheduler.aborted:
+        raise CertificateError(
+            f"aborted transactions {sorted(scheduler.aborted)} cannot be "
+            "certified"
+        )
+    order = scheduler.serialization_order()
+    groups: dict[int, list[int]] = {}
+    for txn in order:
+        first = scheduler.table.vector(txn).get(1)
+        if first is UNDEFINED:
+            continue
+        groups.setdefault(first, []).append(txn)
+
+    numbers: dict[int, Fraction] = {}
+    for first, members in groups.items():
+        # members inherit the topological order; spread them over the
+        # open interval (first - 1, first).
+        span = len(members) + 1
+        for rank, txn in enumerate(members, start=1):
+            numbers[txn] = first - 1 + Fraction(rank, span)
+    return numbers
+
+
+def verify_certificate(
+    log: Log, numbers: dict[int, Fraction], check_read_read: bool = True
+) -> bool:
+    """Check conditions i)-iii) of Definition 2 (and iv of Definition 3)
+    directly: every ordered conflicting (/read-read) pair agrees with the
+    ``s`` order.  Transactions absent from *numbers* fail the check."""
+    ops = log.operations
+    for later_index, later in enumerate(ops):
+        for earlier in ops[:later_index]:
+            if earlier.txn == later.txn or earlier.item != later.item:
+                continue
+            conflicting = earlier.kind.is_write or later.kind.is_write
+            read_read = (
+                check_read_read
+                and earlier.kind.is_read
+                and later.kind.is_read
+            )
+            if not (conflicting or read_read):
+                continue
+            if earlier.txn not in numbers or later.txn not in numbers:
+                return False
+            if not numbers[earlier.txn] < numbers[later.txn]:
+                return False
+    return True
+
+
+def verify_definition5_ranges(
+    scheduler: MTkScheduler, numbers: dict[int, Fraction]
+) -> bool:
+    """Condition v) of Definition 5: ``t_i - 1 < s_i < t_i``."""
+    for txn, s in numbers.items():
+        first = scheduler.table.vector(txn).get(1)
+        if first is UNDEFINED:
+            return False
+        if not first - 1 < s < first:
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""Scheduling-cost measurement (Section III-D-3 and Theorem 4).
+
+The paper's cost unit is element comparisons: MT(k) recognizes a log of
+``n`` transactions with at most ``q`` operations each in ``O(nqk)`` time,
+because each of the ``O(nq)`` operations costs ``O(k)`` vector-comparison
+work.  :class:`~repro.core.table.TimestampTable` counts exactly that
+(``element_visits``); these helpers sweep ``n``, ``q``, ``k`` and report
+measured cost next to the ``n*q*k`` prediction.
+
+The parallel counterpart (Theorem 4: ``O(nq log k)`` with ``O(k)``
+processors) is measured with the Fig. 6/7 comparator's step counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.mtk import MTkScheduler
+from ..core.vector_processor import parallel_step_bound
+from ..model.generator import WorkloadSpec, random_log
+import random
+
+
+@dataclass(frozen=True)
+class CostSample:
+    """Measured recognition cost of one (n, q, k) configuration."""
+
+    n: int
+    q: int
+    k: int
+    operations: int
+    element_visits: int
+    parallel_steps_bound: int
+
+    @property
+    def visits_per_op(self) -> float:
+        return self.element_visits / self.operations if self.operations else 0.0
+
+    @property
+    def nqk(self) -> int:
+        return self.n * self.q * self.k
+
+
+def measure_cost(
+    n: int, q: int, k: int, num_items: int = 64, seed: int = 0, trials: int = 5
+) -> CostSample:
+    """Average element-comparison cost of MT(k) over random logs."""
+    rng = random.Random(seed)
+    spec = WorkloadSpec(
+        num_txns=n, ops_per_txn=q, num_items=num_items, write_ratio=0.4
+    )
+    total_visits = 0
+    total_ops = 0
+    for _ in range(trials):
+        log = random_log(spec, rng)
+        scheduler = MTkScheduler(k)
+        scheduler.run(log)
+        total_visits += scheduler.table.element_visits
+        total_ops += len(log)
+    # The parallel bound covers one comparison; ~2 comparisons per op
+    # (accessor selection + Set).
+    steps = 2 * (total_ops // trials) * parallel_step_bound(k)
+    return CostSample(
+        n=n,
+        q=q,
+        k=k,
+        operations=total_ops // trials,
+        element_visits=total_visits // trials,
+        parallel_steps_bound=steps,
+    )
+
+
+def sweep(
+    ns: list[int] | None = None,
+    qs: list[int] | None = None,
+    ks: list[int] | None = None,
+    seed: int = 0,
+) -> list[CostSample]:
+    """The Section III-D-3 cost sweep: vary one parameter at a time."""
+    ns = ns or [4, 8, 16, 32]
+    qs = qs or [2, 4, 8]
+    ks = ks or [1, 2, 4, 8]
+    samples: list[CostSample] = []
+    base_n, base_q, base_k = ns[0], qs[0], ks[0]
+    for n in ns:
+        samples.append(measure_cost(n, base_q, base_k, seed=seed))
+    for q in qs[1:]:
+        samples.append(measure_cost(base_n, q, base_k, seed=seed))
+    for k in ks[1:]:
+        samples.append(measure_cost(base_n, base_q, k, seed=seed))
+    return samples
+
+
+def linearity_ratio(samples: list[CostSample]) -> float:
+    """max/min of (measured cost / nqk) across samples — near-constant
+    ratios mean the measured cost scales like O(nqk)."""
+    ratios = [s.element_visits / s.nqk for s in samples if s.nqk]
+    return max(ratios) / min(ratios) if ratios else float("inf")
+
+
+def speedup_bound(q_ops: int, k: int) -> float:
+    """Theoretical sequential/parallel ratio per comparison: ``k`` element
+    steps vs ``4 + ceil(log2 k)`` phases (Theorem 4)."""
+    return k / parallel_step_bound(k)

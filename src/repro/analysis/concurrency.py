@@ -1,0 +1,84 @@
+"""Degree-of-concurrency measurement (Section III-C).
+
+Papadimitriou's yardstick, which the paper adopts: a scheduler's degree of
+concurrency is the set of (serializable) logs it accepts.  These helpers
+measure it empirically over reproducible log streams:
+
+* :func:`acceptance_table` — per-scheduler acceptance counts over a stream;
+* :func:`containment_matrix` — the observed subset structure between the
+  accepted classes (the Fig. 4 story, measured instead of proved);
+* :func:`acceptance_by_dimension` — acceptance of MT(k) as ``k`` grows,
+  which exhibits the Theorem 3 saturation at ``k = 2q - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.mtk import MTkScheduler
+from ..core.protocol import Scheduler
+from ..model.log import Log
+
+
+@dataclass(frozen=True)
+class AcceptanceRow:
+    name: str
+    accepted: int
+    total: int
+
+    @property
+    def rate(self) -> float:
+        return self.accepted / self.total if self.total else 0.0
+
+
+def acceptance_table(
+    schedulers: Sequence[Scheduler], logs: Iterable[Log]
+) -> list[AcceptanceRow]:
+    """Acceptance counts of every scheduler over the same log stream."""
+    materialized = list(logs)
+    rows = []
+    for scheduler in schedulers:
+        accepted = sum(1 for log in materialized if scheduler.accepts(log))
+        rows.append(AcceptanceRow(scheduler.name, accepted, len(materialized)))
+    return rows
+
+
+def containment_matrix(
+    schedulers: Sequence[Scheduler], logs: Iterable[Log]
+) -> dict[tuple[str, str], bool]:
+    """``(A, B) -> True`` when every log A accepted, B accepted too (an
+    *observed* A subseteq B over this stream)."""
+    materialized = list(logs)
+    verdicts = {
+        scheduler.name: [scheduler.accepts(log) for log in materialized]
+        for scheduler in schedulers
+    }
+    matrix: dict[tuple[str, str], bool] = {}
+    names = [s.name for s in schedulers]
+    for a in names:
+        for b in names:
+            matrix[(a, b)] = all(
+                (not va) or vb for va, vb in zip(verdicts[a], verdicts[b])
+            )
+    return matrix
+
+
+def acceptance_by_dimension(
+    logs: Iterable[Log],
+    max_k: int,
+    scheduler_factory: Callable[[int], Scheduler] | None = None,
+) -> dict[int, int]:
+    """Accepted-log counts for MT(1)..MT(max_k) over one stream.
+
+    With the default factory this is the Section VI-B vector-size sweep:
+    acceptance grows with ``k`` (not always monotonically — TO(k) classes
+    are incomparable — but the union MT(k*) is) and saturates at
+    ``k = 2q - 1`` by Theorem 3.
+    """
+    factory = scheduler_factory or (lambda k: MTkScheduler(k))
+    materialized = list(logs)
+    return {
+        k: sum(1 for log in materialized if factory(k).accepts(log))
+        for k in range(1, max_k + 1)
+    }

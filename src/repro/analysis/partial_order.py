@@ -1,0 +1,63 @@
+"""Degree of partial order among timestamp vectors (Section III-D-5).
+
+"The protocol MT(k) does not necessarily generate a total order but a
+partial order among the transactions.  It yields more freedom in
+determining the order based on subsequent dependency relationships.  We
+can increase the degree of partial order by increasing k."
+
+These helpers make the claim measurable: after a run,
+:func:`incomparable_fraction` reports the share of transaction pairs the
+vectors leave *unordered* — the freedom the scheduler still has.  MT(1)
+always produces a total order (0.0); the fraction grows with ``k``
+until the Theorem 3 saturation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..core.mtk import MTkScheduler
+from ..core.timestamp import Ordering, compare
+from ..model.log import Log
+
+
+def ordered_and_incomparable_pairs(scheduler: MTkScheduler) -> tuple[int, int]:
+    """Counts of (ordered, incomparable) pairs among live user vectors."""
+    txns = [
+        t
+        for t in scheduler.table.known_txns()
+        if t != 0 and t not in scheduler.aborted
+    ]
+    ordered = incomparable = 0
+    for a, b in itertools.combinations(txns, 2):
+        ordering = compare(
+            scheduler.table.vector(a), scheduler.table.vector(b)
+        ).ordering
+        if ordering in (Ordering.LESS, Ordering.GREATER):
+            ordered += 1
+        else:
+            incomparable += 1
+    return ordered, incomparable
+
+
+def incomparable_fraction(scheduler: MTkScheduler) -> float:
+    """Share of transaction pairs still unordered after the run."""
+    ordered, incomparable = ordered_and_incomparable_pairs(scheduler)
+    total = ordered + incomparable
+    return incomparable / total if total else 0.0
+
+
+def mean_incomparable_fraction(
+    logs: Iterable[Log], k: int, read_rule: str = "line9"
+) -> float:
+    """Average unordered-pair share of MT(k) over the accepted logs of a
+    stream (rejected logs carry no complete final order)."""
+    fractions = []
+    for log in logs:
+        scheduler = MTkScheduler(k, read_rule=read_rule)
+        if scheduler.accepts(log):
+            fractions.append(incomparable_fraction(scheduler))
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment benches.
+
+Every bench prints the rows the corresponding paper table/figure reports;
+this module keeps the formatting in one place so outputs are uniform and
+diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_vector(elements: Sequence[Any]) -> str:
+    """Render a vector snapshot the way the paper prints them: ``<1,*>``."""
+    return (
+        "<"
+        + ",".join("*" if e is None else str(e) for e in elements)
+        + ">"
+    )
+
+
+def render_vector_table(
+    snapshots: Iterable[tuple[str, dict[int, tuple[Any, ...]]]],
+    txns: Sequence[int],
+    title: str = "",
+) -> str:
+    """Render a Table I/II/III style recording: one row per event, one
+    column per transaction vector, blank when unchanged."""
+    headers = ["event"] + [f"TS({t})" for t in txns]
+    rows = []
+    previous: dict[int, tuple[Any, ...]] = {}
+    for label, snapshot in snapshots:
+        row = [label]
+        for txn in txns:
+            current = snapshot.get(txn)
+            if current is None or current == previous.get(txn):
+                row.append("")
+            else:
+                row.append(render_vector(current))
+        previous = {t: snapshot.get(t) for t in txns if t in snapshot}
+        rows.append(row)
+    return render_table(headers, rows, title=title)

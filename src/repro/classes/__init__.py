@@ -1,0 +1,57 @@
+"""Serializability class membership (Definitions 2-5, Fig. 4)."""
+
+from .membership import (
+    INITIAL,
+    dsr_order,
+    final_writers,
+    is_dsr,
+    is_ssr,
+    is_view_equivalent,
+    is_view_serializable,
+    precedence_pairs,
+    reads_from,
+)
+from .two_pl import is_two_pl
+from .to import (
+    first_positions,
+    is_to1_declarative,
+    is_tok,
+    saturation_dimension,
+    to_memberships,
+)
+from .hierarchy import (
+    REGION_NAMES,
+    CensusResult,
+    ClassMembership,
+    InconsistentMembership,
+    canonical_logs,
+    census,
+    classify,
+    region_of,
+)
+
+__all__ = [
+    "INITIAL",
+    "is_dsr",
+    "dsr_order",
+    "is_ssr",
+    "precedence_pairs",
+    "reads_from",
+    "final_writers",
+    "is_view_equivalent",
+    "is_view_serializable",
+    "is_two_pl",
+    "is_tok",
+    "to_memberships",
+    "is_to1_declarative",
+    "first_positions",
+    "saturation_dimension",
+    "ClassMembership",
+    "CensusResult",
+    "InconsistentMembership",
+    "REGION_NAMES",
+    "canonical_logs",
+    "census",
+    "classify",
+    "region_of",
+]

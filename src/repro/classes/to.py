@@ -1,0 +1,71 @@
+"""The timestamp-ordering classes TO(1) and TO(k) (Definitions 3-5).
+
+Two views of the same classes:
+
+* the **operational** one the paper's hierarchy actually uses — ``TO(k)``
+  is "the set of logs recognized by MT(k)" (the paper's notation table);
+  :func:`is_tok` simply replays the log through a fresh
+  :class:`~repro.core.mtk.MTkScheduler`; and
+* the **declarative** TO(1) of Definition 4 — real numbers
+  ``s_i = pi(R_i)`` (the position of the transaction's first operation)
+  must order every conflicting pair and, by condition iv), every
+  read-read pair on a common item.
+
+For the single-read/single-write two-step family used in the Fig. 4 census
+the two views of TO(1) coincide (a property test asserts this); on
+multi-operation logs MT(1)'s line-9 relaxation can accept slightly more
+than Definition 4, which the paper acknowledges by defining the classes
+operationally.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.mtk import MTkScheduler
+from ..model.log import Log
+
+
+def is_tok(log: Log, k: int) -> bool:
+    """Operational TO(k): is the log accepted by MT(k)?"""
+    return MTkScheduler(k).accepts(log)
+
+
+def to_memberships(log: Log, ks: tuple[int, ...]) -> dict[int, bool]:
+    """TO(k) membership for several vector sizes at once."""
+    return {k: is_tok(log, k) for k in ks}
+
+
+def first_positions(log: Log) -> dict[int, int]:
+    """``pi`` of each transaction's first operation (its ``R_i`` in the
+    two-step model)."""
+    positions: dict[int, int] = {}
+    for position, op in enumerate(log, start=1):
+        positions.setdefault(op.txn, position)
+    return positions
+
+
+def is_to1_declarative(log: Log) -> bool:
+    """Definition 4: ``s_i = pi(R_i)`` must satisfy conditions i)-iv).
+
+    Conditions i)-iii) (Definition 2): every ordered conflicting pair must
+    agree with the ``s`` order.  Condition iv) (Definition 3): every ordered
+    read-read pair on a common item must agree as well.
+    """
+    s = first_positions(log)
+    ops = log.operations
+    for later_index, later in enumerate(ops):
+        for earlier in ops[:later_index]:
+            if earlier.txn == later.txn or earlier.item != later.item:
+                continue
+            conflicting = earlier.kind.is_write or later.kind.is_write
+            read_read = earlier.kind.is_read and later.kind.is_read
+            if (conflicting or read_read) and not s[earlier.txn] < s[later.txn]:
+                return False
+    return True
+
+
+def saturation_dimension(log: Log) -> int:
+    """``2q - 1``: the vector size beyond which TO(k) stops growing for this
+    log's transaction population (Theorem 3)."""
+    return max(1, 2 * log.max_ops_per_txn - 1)

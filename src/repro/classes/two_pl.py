@@ -1,0 +1,119 @@
+"""Membership in the two-phase-locking log class.
+
+A log is *in the 2PL class* when some legal execution of a two-phase locking
+scheduler could have produced exactly this operation sequence — locks may be
+placed with full knowledge of the future (this is the class-of-logs view of
+Papadimitriou [16], not the behaviour of any particular online lock
+manager).
+
+**Characterization used.**  Give every transaction a *lock point*
+``lambda_i`` (a real number).  Place ``T_i``'s lock on item ``x`` over the
+interval ``[min(lambda_i, first_i(x)), max(lambda_i, last_i(x))]`` where
+``first``/``last`` are the positions of ``T_i``'s first/last access to
+``x``.  These intervals are two-phase by construction (they all contain
+``lambda_i``).  The log is a legal locking execution iff conflicting
+intervals are disjoint in access order, which reduces to, for every ordered
+conflicting pair ``T_i`` before ``T_j`` on ``x``:
+
+1. ``lambda_i < lambda_j``;
+2. ``lambda_i < first_j(x)``;
+3. ``last_i(x) < lambda_j``;
+4. ``last_i(x) < first_j(x)`` (their accesses to ``x`` must not interleave).
+
+Conversely any legal 2PL execution admits such lock points, so feasibility
+of this constraint system — a difference/bound system solved greedily in
+topological order of the dependency digraph — decides membership exactly.
+
+**Modeling choice (documented deviation):** each transaction holds *one*
+lock per item in its strongest mode for one contiguous interval; S->X
+upgrades mid-stream are not modeled.  This matches Papadimitriou's
+treatment for the two-step model and the conservative-mode online
+scheduler (:mod:`repro.engine.two_pl_scheduler`); an upgrade-capable lock
+manager would accept slightly more logs on items a transaction first reads
+and later writes while another reader slips in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..model.dependency import DependencyGraph
+from ..model.log import Log
+
+
+@dataclass(frozen=True)
+class _ItemUse:
+    first: int  # 1-based position of the first access
+    last: int  # 1-based position of the last access
+    writes: bool
+
+
+def _item_uses(log: Log) -> dict[tuple[int, str], _ItemUse]:
+    uses: dict[tuple[int, str], list] = {}
+    for position, op in enumerate(log, start=1):
+        key = (op.txn, op.item)
+        if key not in uses:
+            uses[key] = [position, position, op.kind.is_write]
+        else:
+            uses[key][1] = position
+            uses[key][2] = uses[key][2] or op.kind.is_write
+    return {
+        key: _ItemUse(first, last, writes)
+        for key, (first, last, writes) in uses.items()
+    }
+
+
+def is_two_pl(log: Log) -> bool:
+    """Decide membership of *log* in the 2PL class."""
+    if not log.operations:
+        return True
+    uses = _item_uses(log)
+    txns = sorted(log.txn_ids)
+
+    # Per-transaction lock-point bounds and the precedence edges (1).
+    lower: dict[int, int] = {t: 0 for t in txns}  # lambda_t > lower[t]
+    upper: dict[int, int] = {t: len(log) + 1 for t in txns}  # lambda_t < upper
+    graph = DependencyGraph(txns)
+
+    by_item: dict[str, list[tuple[int, _ItemUse]]] = {}
+    for (txn, item), use in uses.items():
+        by_item.setdefault(item, []).append((txn, use))
+
+    for item, users in by_item.items():
+        for a_index, (txn_a, use_a) in enumerate(users):
+            for txn_b, use_b in users[a_index + 1 :]:
+                if not (use_a.writes or use_b.writes):
+                    continue  # read locks are compatible
+                if use_a.last < use_b.first:
+                    earlier, later = (txn_a, use_a), (txn_b, use_b)
+                elif use_b.last < use_a.first:
+                    earlier, later = (txn_b, use_b), (txn_a, use_a)
+                else:
+                    return False  # interleaved conflicting accesses (4)
+                e_txn, e_use = earlier
+                l_txn, l_use = later
+                graph.add_edge(e_txn, l_txn)  # (1)
+                upper[e_txn] = min(upper[e_txn], l_use.first)  # (2)
+                lower[l_txn] = max(lower[l_txn], e_use.last)  # (3)
+
+    order = graph.topological_order()
+    if order is None:
+        return False  # cyclic lock-point precedence
+
+    # Greedy minimal lock points in topological order; epsilon keeps all
+    # strict inequalities exact (at most n epsilon steps accumulate < 1).
+    predecessors: dict[int, set[int]] = {t: set() for t in txns}
+    for source, target in graph.edge_pairs():
+        predecessors[target].add(source)
+
+    epsilon = Fraction(1, len(txns) + 2)
+    lam: dict[int, Fraction] = {}
+    for txn in order:
+        bound = Fraction(lower[txn])
+        for pred in predecessors[txn]:
+            bound = max(bound, lam[pred])
+        lam[txn] = bound + epsilon
+        if lam[txn] >= upper[txn]:
+            return False
+    return True

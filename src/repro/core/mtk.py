@@ -1,0 +1,369 @@
+"""The protocol MT(k) — Algorithm 1 of Section III-A.
+
+Scheduling one operation ``O`` of transaction ``T_i`` on item ``x``:
+
+1. Pick ``j``: whichever of ``RT(x)`` / ``WT(x)`` holds the larger timestamp
+   vector (lines 5-6).
+2. **Read**: try ``Set(j, i)``.  On success record ``RT(x) := i`` and accept.
+   On failure (``TS(j) > TS(i)``), the read may still be safe when the larger
+   vector belongs to a *reader* — reads do not conflict — provided the most
+   recent *writer* precedes ``T_i`` (lines 9-10).  Otherwise abort ``T_i``.
+3. **Write**: try ``Set(j, i)``.  On success record ``WT(x) := i`` and
+   accept; on failure abort (lines 12-14), unless the Thomas write rule is
+   enabled and ``TS(RT(x)) < TS(i) < TS(WT(x))``, in which case the write is
+   *ignored* (implementation note III-D-6c).
+
+Options reproduce the paper's variants:
+
+* ``read_rule`` — how the lines 9-10 read fallback behaves: ``"line9"``
+  (Algorithm 1 as written: accept when ``TS(WT(x)) < TS(i)``), ``"relaxed"``
+  (the note after Theorem 3: use ``Set(WT(x), i)`` instead, allowing higher
+  concurrency at the price of invalidating Observations ii-iv), or
+  ``"none"`` (lines 9-10 crossed out, the simplification Theorem 5's proof
+  assumes — the composite MT(k*) runs its subprotocols this way).
+* ``thomas_write_rule`` — ignore obsolete writes instead of aborting.
+* ``anti_starvation`` — the Section III-D-4 remedy: just before aborting
+  ``T_i`` because ``TS(i) < TS(j)``, flush ``TS(i)`` and seed
+  ``TS(i, 1) := TS(j, 1) + 1`` so the restarted ``T_i`` is ordered after
+  ``T_j`` and cannot starve against it again.
+* ``encoding`` — plug in :class:`~repro.core.table.OptimizedEncoding` for
+  the hot-item rules of Section III-D-5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..model.dependency import DependencyGraph
+from ..model.operations import Operation
+from .protocol import Decision, DecisionStatus, Scheduler
+from .table import EncodingPolicy, TimestampTable, VIRTUAL_TXN
+from .timestamp import Counters, Ordering, TimestampVector, UNDEFINED, compare
+
+
+class MTkScheduler(Scheduler):
+    """The multidimensional timestamp scheduler MT(k)."""
+
+    #: Valid values for ``read_rule``.
+    READ_RULES = ("line9", "relaxed", "none")
+
+    def __init__(
+        self,
+        k: int,
+        read_rule: str = "line9",
+        thomas_write_rule: bool = False,
+        anti_starvation: bool = False,
+        partial_rollback: bool = False,
+        encoding: EncodingPolicy | None = None,
+        counters: Counters | None = None,
+        trace: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError("vector size k must be at least 1")
+        if read_rule not in self.READ_RULES:
+            raise ValueError(f"read_rule must be one of {self.READ_RULES}")
+        self.k = k
+        self.read_rule = read_rule
+        self.thomas_write_rule = thomas_write_rule
+        self.anti_starvation = anti_starvation
+        self.partial_rollback = partial_rollback
+        self._encoding = encoding
+        self._counters_factory = (
+            type(counters) if counters is not None else Counters
+        )
+        self._initial_counters = counters
+        self.trace = trace
+        self.name = f"MT({k})"
+        self._first_reset = True
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        counters: Counters | None
+        if self._first_reset and self._initial_counters is not None:
+            counters = self._initial_counters
+        else:
+            counters = (
+                self._counters_factory()
+                if self._initial_counters is not None
+                else None
+            )
+        self._first_reset = False
+        self.table = TimestampTable(self.k, counters=counters, encoding=self._encoding)
+        self.aborted: set[int] = set()
+        self.committed: set[int] = set()
+        self._readers: dict[str, list[int]] = {}
+        self._writers: dict[str, list[int]] = {}
+        self._touched: dict[int, set[str]] = {}
+        #: transactions ordered *after* each transaction (Set(j, i) hit).
+        self._successors: dict[int, set[int]] = {}
+        #: aborted transactions whose state was preserved for a partial
+        #: rollback (effects kept, vector re-seeded) — see Section VI-C 1.
+        self.partial_ok: set[int] = set()
+        self._seeded: set[int] = set()
+        self.stats: dict[str, int] = {
+            "accepted": 0,
+            "rejected": 0,
+            "ignored": 0,
+            "set_calls": 0,
+            "encodings": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def process(self, op: Operation) -> Decision:
+        if op.txn == VIRTUAL_TXN:
+            raise ValueError("transaction id 0 is reserved for the virtual T0")
+        if op.txn in self.aborted:
+            raise ValueError(
+                f"T{op.txn} is aborted; call restart() before reissuing"
+            )
+        if op.kind.is_read:
+            decision = self._process_read(op)
+        else:
+            decision = self._process_write(op)
+        key = {
+            DecisionStatus.ACCEPT: "accepted",
+            DecisionStatus.REJECT: "rejected",
+            DecisionStatus.IGNORE: "ignored",
+        }[decision.status]
+        self.stats[key] += 1
+        return decision
+
+    def _process_read(self, op: Operation) -> Decision:
+        i, x = op.txn, op.item
+        j = self.table.latest_accessor(x)
+        outcome = self._set_less(j, i, x)
+        if outcome.ok:
+            self.table.set_rt(x, i)
+            self._record_access(op)
+            return Decision(DecisionStatus.ACCEPT, op)
+        # TS(j) > TS(i): the read may still be safe if the larger vector is a
+        # reader's and the most recent writer precedes T_i (lines 9-10).
+        if self.read_rule != "none" and j == self.table.rt(x):
+            wt = self.table.wt(x)
+            if self.read_rule == "relaxed":
+                if self._set_less(wt, i, x).ok:
+                    self._record_access(op)
+                    return Decision(
+                        DecisionStatus.ACCEPT, op, "read-below-latest-reader"
+                    )
+            else:
+                ts_wt = self.table.vector(wt)
+                ts_i = self.table.vector(i)
+                if compare(ts_wt, ts_i).ordering is Ordering.LESS:
+                    self._record_access(op)
+                    return Decision(
+                        DecisionStatus.ACCEPT, op, "read-below-latest-reader"
+                    )
+        return self._abort(op, blocking=j)
+
+    def _process_write(self, op: Operation) -> Decision:
+        i, x = op.txn, op.item
+        j = self.table.latest_accessor(x)
+        outcome = self._set_less(j, i, x)
+        if outcome.ok:
+            self.table.set_wt(x, i)
+            self._record_access(op)
+            return Decision(DecisionStatus.ACCEPT, op)
+        if self.thomas_write_rule:
+            # TS(RT(x)) < TS(i) < TS(WT(x)): nobody will ever read this
+            # write — drop it instead of aborting (III-D-6c).
+            rt, wt = self.table.rt(x), self.table.wt(x)
+            ts_i = self.table.vector(i)
+            below_writer = (
+                compare(ts_i, self.table.vector(wt)).ordering is Ordering.LESS
+            )
+            above_reader = (
+                compare(self.table.vector(rt), ts_i).ordering is Ordering.LESS
+            )
+            if below_writer and above_reader:
+                return Decision(
+                    DecisionStatus.IGNORE, op, "thomas-write-rule"
+                )
+        return self._abort(op, blocking=j)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _set_less(self, j: int, i: int, item: str):
+        self.stats["set_calls"] += 1
+        outcome = self.table.set_less(j, i, item)
+        if outcome.encoded:
+            self.stats["encodings"] += 1
+        if outcome.ok and j != i:
+            self._successors.setdefault(j, set()).add(i)
+        return outcome
+
+    def _record_access(self, op: Operation) -> None:
+        history = self._readers if op.kind.is_read else self._writers
+        history.setdefault(op.item, []).append(op.txn)
+        self._touched.setdefault(op.txn, set()).add(op.item)
+
+    def _abort(self, op: Operation, blocking: int) -> Decision:
+        i = op.txn
+        # Section VI-C 1: when nobody has been ordered after T_i yet, its
+        # accepted effects can be preserved — re-seed the vector past the
+        # blocker and let the executor resume from the failed operation.
+        preserve = self.partial_rollback and not self._successors.get(i)
+        if preserve or self.anti_starvation:
+            self._reseed(i, blocking)
+        self.aborted.add(i)
+        if preserve:
+            self.partial_ok.add(i)
+        else:
+            self._undo_indices(i)
+        return Decision(
+            DecisionStatus.REJECT,
+            op,
+            f"TS({blocking}) > TS({i})",
+        )
+
+    def _reseed(self, i: int, blocking: int) -> None:
+        """Flush ``TS(i)`` and seed element 1 past the blocker's (the
+        starvation remedy of III-D-4, reused by partial rollback)."""
+        ts_i = self.table.vector(i)
+        seed = self.table.vector(blocking).get(1)
+        ts_i.flush()
+        if seed is not UNDEFINED and isinstance(seed, int):
+            ts_i.set(1, seed + 1)
+        self._seeded.add(i)
+
+    def _undo_indices(self, txn: int) -> None:
+        """Re-point ``RT``/``WT`` away from an aborted transaction.
+
+        For every item the transaction touched, the new most-recent
+        reader/writer is the surviving accessor with the *largest* vector
+        (matching the paper's definition of the most recent read/write
+        timestamp).
+        """
+        for item in self._touched.pop(txn, set()):
+            readers = self._readers.get(item, [])
+            readers[:] = [t for t in readers if t != txn]
+            writers = self._writers.get(item, [])
+            writers[:] = [t for t in writers if t != txn]
+            if self.table.rt(item) == txn:
+                self.table.set_rt(item, self._maximal(readers))
+            if self.table.wt(item) == txn:
+                self.table.set_wt(item, self._maximal(writers))
+
+    def _maximal(self, candidates: list[int]) -> int:
+        """The candidate holding a maximal vector (``T_0`` if none)."""
+        best = VIRTUAL_TXN
+        for txn in candidates:
+            ordering = compare(
+                self.table.vector(best), self.table.vector(txn)
+            ).ordering
+            if best == VIRTUAL_TXN or ordering is Ordering.LESS:
+                best = txn
+        return best
+
+    # ------------------------------------------------------------------
+    # Lifecycle used by the executor
+    # ------------------------------------------------------------------
+    def restart(self, txn: int) -> None:
+        """Allow an aborted transaction to retry (same identifier).
+
+        With ``anti_starvation`` the vector was already re-seeded at abort
+        time; otherwise it is flushed so the transaction starts fresh.
+        """
+        if txn not in self.aborted:
+            raise ValueError(f"T{txn} is not aborted")
+        self.aborted.discard(txn)
+        self.partial_ok.discard(txn)
+        if txn in self._seeded:
+            self._seeded.discard(txn)
+        else:
+            self.table.vector(txn).flush()
+
+    def commit(self, txn: int) -> None:
+        """Mark a transaction finished (storage for its row may be reclaimed
+        per III-D-6b once it stops being any item's most recent accessor)."""
+        self.committed.add(txn)
+
+    def reclaim_committed(self, include_aborted: bool = False) -> int:
+        """Implementation note III-D-6b: free the timestamp-table rows of
+        committed transactions that are no longer any item's most recent
+        accessor.  Returns the number of rows reclaimed.  With the typical
+        multiprogramming level of 8-10 transactions (III-D-6a) this keeps
+        the live table bounded regardless of workload length.
+
+        ``include_aborted`` also frees rows of aborted transactions the
+        caller has abandoned (will never :meth:`restart`); their seeded
+        anti-starvation vectors are lost with the row.
+        """
+        self._prune_histories()
+        in_history = {
+            txn
+            for history in (*self._readers.values(), *self._writers.values())
+            for txn in history
+        }
+        candidates = set(self.committed)
+        if include_aborted:
+            candidates |= self.aborted
+        reclaimed = 0
+        for txn in sorted(candidates):
+            if txn == VIRTUAL_TXN or txn not in self.table.known_txns():
+                continue
+            if txn in in_history:
+                continue  # may still be needed as an abort-restore target
+            if not self.table.is_referenced(txn):
+                self.table.reclaim(txn)
+                self._successors.pop(txn, None)
+                self.aborted.discard(txn)
+                self._seeded.discard(txn)
+                reclaimed += 1
+        return reclaimed
+
+    def _prune_histories(self) -> None:
+        """Drop access-history entries older than the newest *committed*
+        accessor: restoration after an abort never walks past a committed
+        transaction (it can never abort), so earlier entries are dead."""
+        for history in (*self._readers.values(), *self._writers.values()):
+            last_committed = None
+            for index, txn in enumerate(history):
+                if txn in self.committed:
+                    last_committed = index
+            if last_committed:
+                del history[:last_committed]
+
+    @property
+    def table_size(self) -> int:
+        """Live timestamp-table rows (excluding the permanent T0 row)."""
+        return len(self.table.known_txns()) - 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table_snapshot(self) -> Mapping[int, tuple[Any, ...]] | None:
+        if not self.trace:
+            return None
+        return self.table.snapshot()
+
+    def serialization_order(self) -> list[int]:
+        """A serial order consistent with the timestamp vectors.
+
+        Builds the partial order given by pairwise Definition 6 comparisons
+        of all known vectors and topologically sorts it (the paper's
+        "topological sort of the corresponding timestamp vectors").
+        """
+        txns = [
+            t
+            for t in self.table.known_txns()
+            if t != VIRTUAL_TXN and t not in self.aborted
+        ]
+        graph = DependencyGraph(txns)
+        for a_pos, a in enumerate(txns):
+            for b in txns[a_pos + 1 :]:
+                ordering = compare(
+                    self.table.vector(a), self.table.vector(b)
+                ).ordering
+                if ordering is Ordering.LESS:
+                    graph.add_edge(a, b)
+                elif ordering is Ordering.GREATER:
+                    graph.add_edge(b, a)
+        order = graph.topological_order()
+        if order is None:  # pragma: no cover - Lemmas 1-2 forbid this
+            raise RuntimeError("timestamp vectors form a cycle")
+        return order

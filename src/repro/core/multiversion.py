@@ -1,0 +1,171 @@
+"""Multiversion MT(k) — implementation note III-D-6d made concrete.
+
+The paper: "Reed [19] proposed a multiple version concurrency control
+mechanism using single-valued timestamps.  The idea can be extended to
+timestamp vectors."  This module is that extension — multiversion
+timestamp ordering where the timestamps are MT(k)'s dynamically assigned
+vectors:
+
+* **Reads never abort.**  A read of ``x`` first tries to order itself
+  after the newest version's writer (the MT(k) ``Set`` move, keeping the
+  read as fresh as possible); failing that, it reads the newest *older*
+  version whose writer is already below it.  Either way the read is
+  recorded against the version it saw.
+* **Writes validate against recorded reads.**  A write by ``T_i`` must
+  order after the newest writer, and must not slide a new version in
+  between a recorded (version writer, reader) pair — a reader above
+  ``T_i`` that read a version below ``T_i`` would retroactively have read
+  the wrong version.  Readers not yet ordered against ``T_i`` are ordered
+  *below* it on the spot (another dynamic-encoding move unavailable to
+  scalar multiversion TO).
+
+Serialization remains the topological order of the vectors; the executed
+reads-from relation equals that of the serial replay in that order (a
+property test asserts view equivalence end to end).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..model.operations import Operation
+from .mtk import MTkScheduler
+from .protocol import Decision, DecisionStatus
+from .table import VIRTUAL_TXN
+from .timestamp import Ordering, compare
+
+
+class MVMTkScheduler(MTkScheduler):
+    """Multiversion MT(k): vector-timestamped versions, abort-free reads."""
+
+    def __init__(self, k: int, trace: bool = False) -> None:
+        super().__init__(k, read_rule="none", trace=trace)
+        self.name = f"MVMT({k})"
+
+    def reset(self) -> None:
+        super().reset()
+        #: accepted writers per item, in acceptance (= vector) order; the
+        #: virtual T0 wrote the initial version of everything.
+        self._version_writers: dict[str, list[int]] = {}
+        #: recorded reads per item: (reader, writer of the version read).
+        self._version_reads: dict[str, list[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def _chain(self, item: str) -> list[int]:
+        return self._version_writers.setdefault(item, [VIRTUAL_TXN])
+
+    def _process_read(self, op: Operation) -> Decision:
+        i, x = op.txn, op.item
+        writers = self._chain(x)
+        newest = writers[-1]
+        outcome = self._set_less(newest, i, x)
+        if outcome.ok:
+            source = newest
+        else:
+            source = self._latest_version_below(writers, i)
+            if source is None:
+                # Nothing readable below T_i (possible only for vectors
+                # driven below the virtual transaction) — genuine abort.
+                return self._abort(op, blocking=newest)
+        self._version_reads.setdefault(x, []).append((i, source))
+        self.table.set_rt(x, self._max_reader(x))
+        self._record_access(op)
+        reason = "" if source == newest else f"read-old-version:T{source}"
+        return Decision(DecisionStatus.ACCEPT, op, reason)
+
+    def _process_write(self, op: Operation) -> Decision:
+        i, x = op.txn, op.item
+        writers = self._chain(x)
+        newest = writers[-1]
+        outcome = self._set_less(newest, i, x)
+        if not outcome.ok:
+            return self._abort(op, blocking=newest)
+        for reader, source in list(self._version_reads.get(x, ())):
+            if reader == i:
+                continue
+            ts_reader = self.table.vector(reader)
+            ts_i = self.table.vector(i)
+            ordering = compare(ts_reader, ts_i).ordering
+            if ordering is Ordering.LESS:
+                continue  # reader is below the new version: unaffected
+            if ordering is Ordering.GREATER:
+                # Reader above T_i: the version it read must also be
+                # above T_i, else the new version invalidates the read.
+                source_order = compare(
+                    self.table.vector(source), ts_i
+                ).ordering
+                if source_order is not Ordering.GREATER:
+                    return self._abort(op, blocking=reader)
+                continue
+            # Not yet ordered: put the reader below the new version (a
+            # dynamic-encoding move; always succeeds on =/? vectors).
+            if not self._set_less(reader, i, x).ok:  # pragma: no cover
+                return self._abort(op, blocking=reader)
+        if writers[-1] != i:  # a repeat write just refreshes the version
+            writers.append(i)
+        self.table.set_wt(x, i)
+        self._record_access(op)
+        return Decision(DecisionStatus.ACCEPT, op)
+
+    # ------------------------------------------------------------------
+    def _latest_version_below(self, writers: list[int], txn: int) -> int | None:
+        """The version the reader must see: walking newest to oldest, skip
+        writers already *above* the reader; the first writer below it — or
+        not yet ordered against it, in which case the order is encoded now
+        (leaving it open would let the serialization slide the writer in
+        front of the reader later) — owns the version to read."""
+        ts_txn = self.table.vector(txn)
+        for writer in reversed(writers):
+            if writer == txn:
+                return writer  # a transaction always sees its own version
+            ordering = compare(self.table.vector(writer), ts_txn).ordering
+            if ordering is Ordering.GREATER:
+                continue
+            if ordering is Ordering.LESS:
+                return writer
+            # Incomparable (=/?) — commit to writer-before-reader.
+            if self._set_less(writer, txn, None).ok:
+                return writer
+            return None  # pragma: no cover - =/? encodes always succeed
+        return None
+
+    def _max_reader(self, item: str) -> int:
+        return self._maximal(
+            [reader for reader, _ in self._version_reads.get(item, ())]
+        )
+
+    # ------------------------------------------------------------------
+    def _undo_indices(self, txn: int) -> None:
+        """Aborting a transaction also retracts its versions and recorded
+        reads — a lingering aborted version would be served to future
+        readers.  (Readers that already consumed an aborted version are a
+        cascading-abort scenario; run the scheduler with the executor's
+        ``write_policy="deferred"`` to rule it out, per VI-C 2.)"""
+        super()._undo_indices(txn)
+        for reads in self._version_reads.values():
+            reads[:] = [(r, s) for r, s in reads if r != txn]
+        for chain in self._version_writers.values():
+            chain[:] = [w for w in chain if w != txn] or [VIRTUAL_TXN]
+
+    # ------------------------------------------------------------------
+    def reads_from(self) -> list[tuple[int, str, int]]:
+        """The executed reads-from relation: (reader, item, version
+        writer), with ``0`` standing for the initial version."""
+        relation = []
+        for item, reads in self._version_reads.items():
+            for reader, source in reads:
+                relation.append((reader, item, source))
+        return relation
+
+    def version_chain(self, item: str) -> list[int]:
+        """Writers of *item*'s versions, oldest first (T0 included)."""
+        return list(self._chain(item))
+
+    def read_source(self, txn: int, item: str) -> int | None:
+        """Which version (by writer id) the latest accepted read of *item*
+        by *txn* saw — the hook an application uses to fetch the matching
+        value from a :class:`~repro.storage.versioned.MultiversionStore`."""
+        for reader, source in reversed(self._version_reads.get(item, ())):
+            if reader == txn:
+                return source
+        return None

@@ -1,0 +1,343 @@
+"""The timestamp table of Fig. 2 and the ``Set`` procedure of Algorithm 1.
+
+The table keeps, per transaction, its timestamp vector, and per data item the
+indices ``RT(x)`` / ``WT(x)`` of the most recent reader/writer.  Transaction
+``0`` is the paper's virtual transaction ``T_0`` that "reads and writes every
+item before any other transaction": it owns the constant vector
+``<0, *, ..., *>`` and is the initial value of every ``RT(x)`` and ``WT(x)``.
+
+``Set(j, i)`` — the heart of the protocol — compares ``TS(j)`` and ``TS(i)``
+per Definition 6 and, when they are not yet ordered, *encodes* the dependency
+``T_j -> T_i`` by assigning one element in each (or either) vector so that
+``TS(j) < TS(i)``.  How the assignment is made at positions ``m < k`` is a
+policy: :class:`NormalEncoding` follows Algorithm 1 verbatim;
+:class:`OptimizedEncoding` implements the hot-item variant of Section
+III-D-5 that pushes the encoding toward the right end of the vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from .timestamp import (
+    Comparison,
+    Counters,
+    Element,
+    Ordering,
+    TimestampVector,
+    UNDEFINED,
+    compare,
+)
+
+#: Transaction id of the virtual initial transaction.
+VIRTUAL_TXN = 0
+
+
+class EncodingPolicy:
+    """Strategy deciding *where* in two vectors a dependency is encoded.
+
+    Invoked only for the mutating cases of ``Set`` (``=`` and ``?``); the
+    comparing cases (``<``/``>``) never consult the policy.  Implementations
+    must leave the vectors ordered ``TS(j) < TS(i)`` and may only assign
+    previously undefined elements.
+    """
+
+    def encode_equal(
+        self,
+        ts_j: TimestampVector,
+        ts_i: TimestampVector,
+        position: int,
+        counters: Counters,
+        item: str | None,
+    ) -> None:
+        """Both elements at *position* are undefined (the ``=`` case)."""
+        raise NotImplementedError
+
+    def encode_semi(
+        self,
+        ts_j: TimestampVector,
+        ts_i: TimestampVector,
+        position: int,
+        counters: Counters,
+        item: str | None,
+    ) -> None:
+        """Exactly one element at *position* is undefined (the ``?`` case)."""
+        raise NotImplementedError
+
+
+class NormalEncoding(EncodingPolicy):
+    """Algorithm 1's literal encoding rules.
+
+    * ``=`` at ``m < k``: set ``TS(j, m) := 1`` and ``TS(i, m) := 2``.
+    * ``=`` at ``m = k``: draw two consecutive upper-counter values so the
+      k-th column stays globally distinct.
+    * ``?`` at ``m < k``: give the undefined side a value adjacent to the
+      defined side (``+1`` below ``TS(i)``, ``-1`` above ``TS(j)``).
+    * ``?`` at ``m = k``: draw from ``ucount``/``lcount`` instead, keeping
+      the k-th column distinct.
+    """
+
+    def encode_equal(
+        self,
+        ts_j: TimestampVector,
+        ts_i: TimestampVector,
+        position: int,
+        counters: Counters,
+        item: str | None,
+    ) -> None:
+        if position == ts_j.k:
+            lower, upper = counters.fresh_upper_pair()
+            ts_j.set(position, lower)
+            ts_i.set(position, upper)
+        else:
+            ts_j.set(position, 1)
+            ts_i.set(position, 2)
+
+    def encode_semi(
+        self,
+        ts_j: TimestampVector,
+        ts_i: TimestampVector,
+        position: int,
+        counters: Counters,
+        item: str | None,
+    ) -> None:
+        if ts_i.get(position) is UNDEFINED:
+            if position == ts_i.k:
+                ts_i.set(position, counters.fresh_upper())
+            else:
+                ts_i.set(position, ts_j.get(position) + 1)
+        else:
+            if position == ts_j.k:
+                ts_j.set(position, counters.fresh_lower())
+            else:
+                ts_j.set(position, ts_i.get(position) - 1)
+
+
+class OptimizedEncoding(NormalEncoding):
+    """Section III-D-5: encode hot-item dependencies near the right end.
+
+    For a dependency caused by a *frequently accessed* item, instead of
+    assigning the normal (leftmost deciding) position, copy the defined
+    prefix of the longer vector into the shorter one and encode the order in
+    the first position after that prefix.  Vectors that matched the old
+    shared prefix keep matching, so fewer implicit total orders are created
+    and more concurrency remains available (the paper's ``<1,3,1,*>`` /
+    ``<1,3,2,*>`` example).
+
+    Cold items use the inherited normal rules.  Heat is decided by
+    ``is_hot``; :class:`AccessFrequencyTracker` provides a dynamic policy.
+    """
+
+    def __init__(self, is_hot: Callable[[str], bool]) -> None:
+        self._is_hot = is_hot
+
+    def encode_semi(
+        self,
+        ts_j: TimestampVector,
+        ts_i: TimestampVector,
+        position: int,
+        counters: Counters,
+        item: str | None,
+    ) -> None:
+        if item is None or not self._is_hot(item):
+            super().encode_semi(ts_j, ts_i, position, counters, item)
+            return
+        if ts_i.get(position) is UNDEFINED:
+            longer, shorter = ts_j, ts_i
+        else:
+            longer, shorter = ts_i, ts_j
+        prefix_len = longer.defined_prefix_length()
+        if prefix_len >= longer.k or prefix_len <= position:
+            # No room to the right, or the longer vector's prefix does not
+            # extend beyond the deciding position (copying would only pull
+            # the shorter vector down to the longer one's first element,
+            # *creating* orders against bystanders instead of avoiding
+            # them) — fall back to the normal rule.
+            super().encode_semi(ts_j, ts_i, position, counters, item)
+            return
+        for pos in range(position, prefix_len + 1):
+            shorter.set(pos, longer.get(pos))
+        # Both vectors now share a defined prefix of length prefix_len; the
+        # ``=`` rule encodes the order in the first free position.
+        self.encode_equal(ts_j, ts_i, prefix_len + 1, counters, item)
+
+
+class AccessFrequencyTracker:
+    """Dynamic hot-item detection by access counting (Section III-D-5 notes
+    the access rate may be "dynamic data measured during the scheduling")."""
+
+    def __init__(self, hot_fraction: float = 0.2, min_accesses: int = 4) -> None:
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        self._counts: dict[str, int] = {}
+        self._hot_fraction = hot_fraction
+        self._min_accesses = min_accesses
+
+    def record(self, item: str) -> None:
+        self._counts[item] = self._counts.get(item, 0) + 1
+
+    def count(self, item: str) -> int:
+        return self._counts.get(item, 0)
+
+    def is_hot(self, item: str) -> bool:
+        count = self._counts.get(item, 0)
+        if count < self._min_accesses:
+            return False
+        total = sum(self._counts.values())
+        return count >= self._hot_fraction * total
+
+
+@dataclass
+class SetOutcome:
+    """What a ``Set(j, i)`` call did (for tracing and for the composite
+    protocol, which needs to distinguish "already ordered" from "encoded
+    now")."""
+
+    ok: bool
+    comparison: Comparison
+    encoded: bool
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class TimestampTable:
+    """Timestamp table of Fig. 2: vectors + ``RT``/``WT`` indices + counters.
+
+    Rows are created lazily: the first time a transaction id is looked up it
+    receives a fresh all-undefined vector (matching Algorithm 1's
+    initialization of every ``TS(i)`` to ``<*, ..., *>``).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        counters: Counters | None = None,
+        encoding: EncodingPolicy | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("vector size k must be at least 1")
+        self.k = k
+        self.counters = counters if counters is not None else Counters()
+        self.encoding = encoding if encoding is not None else NormalEncoding()
+        virtual = TimestampVector(k)
+        virtual.set(1, 0)
+        self._vectors: dict[int, TimestampVector] = {VIRTUAL_TXN: virtual}
+        self._rt: dict[str, int] = {}
+        self._wt: dict[str, int] = {}
+        #: element-comparison cost counter: every Definition 6 comparison
+        #: adds its deciding position m (<= k).  This is the unit the
+        #: O(nqk) analysis of Section III-D-3 counts.
+        self.element_visits = 0
+
+    # ------------------------------------------------------------------
+    # Rows and item indices
+    # ------------------------------------------------------------------
+    def vector(self, txn: int) -> TimestampVector:
+        """``TS(txn)``, creating a fresh all-undefined row on first use."""
+        row = self._vectors.get(txn)
+        if row is None:
+            row = TimestampVector(self.k)
+            self._vectors[txn] = row
+        return row
+
+    def known_txns(self) -> tuple[int, ...]:
+        return tuple(sorted(self._vectors))
+
+    def is_referenced(self, txn: int) -> bool:
+        """Is *txn* still some item's most recent reader or writer?"""
+        return any(owner == txn for owner in self._rt.values()) or any(
+            owner == txn for owner in self._wt.values()
+        )
+
+    def reclaim(self, txn: int) -> None:
+        """Drop a committed transaction's row (implementation note III-D-6b)
+        provided it is no longer any item's most recent accessor."""
+        if txn == VIRTUAL_TXN:
+            raise ValueError("the virtual transaction's row is permanent")
+        if self.is_referenced(txn):
+            raise ValueError(
+                f"T{txn} is still the most recent accessor of some item"
+            )
+        self._vectors.pop(txn, None)
+
+    def rt(self, item: str) -> int:
+        """``RT(x)``: id of the most recent reader (initially ``T_0``)."""
+        return self._rt.get(item, VIRTUAL_TXN)
+
+    def wt(self, item: str) -> int:
+        """``WT(x)``: id of the most recent writer (initially ``T_0``)."""
+        return self._wt.get(item, VIRTUAL_TXN)
+
+    def set_rt(self, item: str, txn: int) -> None:
+        self.vector(txn)
+        self._rt[item] = txn
+
+    def set_wt(self, item: str, txn: int) -> None:
+        self.vector(txn)
+        self._wt[item] = txn
+
+    def latest_accessor(self, item: str) -> int:
+        """Lines 5-6 of Algorithm 1: the one of ``RT(x)``/``WT(x)`` holding
+        the larger vector (``RT(x)`` when they are not strictly ordered)."""
+        rt, wt = self.rt(item), self.wt(item)
+        comparison = compare(self.vector(rt), self.vector(wt))
+        self.element_visits += comparison.position
+        if comparison.ordering is Ordering.LESS:
+            return wt
+        return rt
+
+    # ------------------------------------------------------------------
+    # The Set procedure
+    # ------------------------------------------------------------------
+    def set_less(self, j: int, i: int, item: str | None = None) -> SetOutcome:
+        """``Set(j, i)``: try to establish/verify ``TS(j) < TS(i)``.
+
+        Returns an outcome whose ``ok`` is Algorithm 1's boolean result:
+        true when the order already holds or was encoded now; false when the
+        opposite order ``TS(j) > TS(i)`` is already committed to the table.
+        ``item`` is the data item whose access caused the dependency — only
+        the optimized encoding policy looks at it.
+        """
+        if j == i:
+            return SetOutcome(True, Comparison(Ordering.IDENTICAL, self.k), False)
+        ts_j, ts_i = self.vector(j), self.vector(i)
+        comparison = compare(ts_j, ts_i)
+        self.element_visits += comparison.position
+        ordering = comparison.ordering
+        if ordering is Ordering.LESS:
+            return SetOutcome(True, comparison, False)
+        if ordering is Ordering.GREATER:
+            return SetOutcome(False, comparison, False)
+        if ordering is Ordering.IDENTICAL:
+            # Cannot happen between two live transactions (k-th column values
+            # are globally distinct) but is trivially an inconsistent state.
+            raise RuntimeError(
+                f"vectors of T{j} and T{i} are identical: {ts_j}"
+            )
+        if ordering is Ordering.EQUAL:
+            self.encoding.encode_equal(
+                ts_j, ts_i, comparison.position, self.counters, item
+            )
+        else:  # Ordering.SEMI
+            self.encoding.encode_semi(
+                ts_j, ts_i, comparison.position, self.counters, item
+            )
+        return SetOutcome(True, comparison, True)
+
+    # ------------------------------------------------------------------
+    # Introspection / recording
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[int, tuple[Element, ...]]:
+        """Current vectors as immutable tuples, keyed by transaction id."""
+        return {txn: vec.snapshot() for txn, vec in sorted(self._vectors.items())}
+
+    def column(self, position: int) -> list[Element]:
+        """All defined elements currently in 1-based column *position* (used
+        by tests of the distinct-last-column invariant)."""
+        return [
+            vec.get(position)
+            for _, vec in sorted(self._vectors.items())
+            if vec.get(position) is not UNDEFINED
+        ]

@@ -1,0 +1,309 @@
+"""Timestamp vectors and their ordering (Section II, Definition 6).
+
+A transaction's timestamp ``TS(i)`` is a vector of ``k`` elements, each
+either *undefined* (the paper's ``*``, our ``None``) or a value drawn from a
+logical clock.  Elements are ordinarily integers; the decentralized protocol
+DMT(k) stores ``(counter, site)`` pairs in the k-th column, so any totally
+ordered value type works as long as a single column never mixes types.
+
+Definition 6 compares two vectors by scanning corresponding elements from
+left to right until the first position ``m`` where the elements are unequal
+or at least one is undefined:
+
+* both defined, unequal            -> the element order decides (``<``/``>``);
+* both undefined                   -> the vectors are *equal* (``=``) — an
+  order between them can still be encoded at position ``m``;
+* exactly one undefined            -> *semi-defined* (``?``) — an order can
+  be encoded at ``m`` by giving the undefined side a value just below/above
+  the defined one.
+
+A scan that exhausts all ``k`` positions with defined, equal elements means
+the vectors are *identical*; Algorithm 1 guarantees this never happens for
+two distinct transactions (the k-th column uses globally distinct counter
+values), but the comparison reports it faithfully.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Iterator, Sequence
+
+#: A timestamp element: ``None`` is the paper's undefined ``*``.  Defined
+#: values must be mutually comparable within a column (ints, or
+#: ``(counter, site)`` tuples in DMT(k)'s k-th column).
+Element = Any
+
+UNDEFINED: Element = None
+
+
+class Ordering(enum.Enum):
+    """Outcome of a Definition 6 comparison."""
+
+    LESS = "<"
+    GREATER = ">"
+    EQUAL = "="  # both elements at the deciding position are undefined
+    SEMI = "?"  # exactly one element at the deciding position is undefined
+    IDENTICAL = "=="  # all k positions defined and equal
+
+    def reversed(self) -> "Ordering":
+        if self is Ordering.LESS:
+            return Ordering.GREATER
+        if self is Ordering.GREATER:
+            return Ordering.LESS
+        return self
+
+
+class Comparison:
+    """Result of comparing two vectors: the ordering plus the deciding
+    1-based position ``m`` (``m == k`` matters to the encoding rules)."""
+
+    __slots__ = ("ordering", "position")
+
+    def __init__(self, ordering: Ordering, position: int) -> None:
+        self.ordering = ordering
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comparison({self.ordering.value!r}, m={self.position})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.ordering is other.ordering
+            and self.position == other.position
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ordering, self.position))
+
+
+class TimestampVector:
+    """A mutable ``k``-element timestamp vector.
+
+    Mutability is deliberate: Algorithm 1's ``Set`` procedure *encodes*
+    dependencies by filling in elements of live vectors.  Use
+    :meth:`snapshot` to capture an immutable copy (the trace/recording
+    machinery behind Tables I-III does).
+    """
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, k: int, elements: Iterable[Element] | None = None) -> None:
+        if k < 1:
+            raise ValueError("vector size k must be at least 1")
+        if elements is None:
+            self._elements: list[Element] = [UNDEFINED] * k
+        else:
+            self._elements = list(elements)
+            if len(self._elements) != k:
+                raise ValueError(
+                    f"expected {k} elements, got {len(self._elements)}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The vector dimension."""
+        return len(self._elements)
+
+    def get(self, position: int) -> Element:
+        """``TS(i, m)``: the element at 1-based *position*."""
+        return self._elements[position - 1]
+
+    def set(self, position: int, value: Element) -> None:
+        """Assign the element at 1-based *position*.
+
+        Overwriting a defined element is refused: Algorithm 1 only ever
+        fills in undefined elements, and once an order has been encoded it
+        must never change (the monotonicity that Theorem 2's proof rests
+        on).  The starvation remedy resets a whole vector via :meth:`flush`
+        instead.
+        """
+        if self._elements[position - 1] is not UNDEFINED:
+            raise ValueError(
+                f"element {position} already defined "
+                f"({self._elements[position - 1]!r}); vectors are write-once"
+            )
+        if value is UNDEFINED:
+            raise ValueError("cannot assign the undefined value")
+        self._elements[position - 1] = value
+
+    def flush(self) -> None:
+        """Reset every element to undefined (starvation remedy, III-D-4)."""
+        for index in range(len(self._elements)):
+            self._elements[index] = UNDEFINED
+
+    def defined_prefix_length(self) -> int:
+        """Number of leading defined elements (used by the optimized
+        encoding of Section III-D-5)."""
+        count = 0
+        for element in self._elements:
+            if element is UNDEFINED:
+                break
+            count += 1
+        return count
+
+    def defined_count(self) -> int:
+        """Total number of defined elements anywhere in the vector."""
+        return sum(1 for element in self._elements if element is not UNDEFINED)
+
+    def is_fresh(self) -> bool:
+        """True iff no element has been assigned yet."""
+        return all(element is UNDEFINED for element in self._elements)
+
+    def snapshot(self) -> tuple[Element, ...]:
+        """Immutable copy of the current elements."""
+        return tuple(self._elements)
+
+    def copy(self) -> "TimestampVector":
+        return TimestampVector(self.k, self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimestampVector):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __hash__(self) -> int:  # pragma: no cover - vectors rarely hashed
+        return hash(self.snapshot())
+
+    def __str__(self) -> str:
+        rendered = ",".join(
+            "*" if element is UNDEFINED else str(element)
+            for element in self._elements
+        )
+        return f"<{rendered}>"
+
+    __repr__ = __str__
+
+
+def compare(left: TimestampVector, right: TimestampVector) -> Comparison:
+    """Definition 6: compare two vectors of equal dimension.
+
+    Returns the :class:`Comparison` holding the ordering and the deciding
+    position ``m``.  ``IDENTICAL`` carries position ``k``.
+    """
+    if left.k != right.k:
+        raise ValueError(f"dimension mismatch: {left.k} vs {right.k}")
+    for position in range(1, left.k + 1):
+        a = left.get(position)
+        b = right.get(position)
+        if a is UNDEFINED and b is UNDEFINED:
+            return Comparison(Ordering.EQUAL, position)
+        if a is UNDEFINED or b is UNDEFINED:
+            return Comparison(Ordering.SEMI, position)
+        if a < b:
+            return Comparison(Ordering.LESS, position)
+        if a > b:
+            return Comparison(Ordering.GREATER, position)
+    return Comparison(Ordering.IDENTICAL, left.k)
+
+
+def is_less(left: TimestampVector, right: TimestampVector) -> bool:
+    """``TS(i) < TS(j)`` per Definition 6 (strictly less; ``=``/``?``/
+    identical all count as *not* less)."""
+    return compare(left, right).ordering is Ordering.LESS
+
+
+def is_greater(left: TimestampVector, right: TimestampVector) -> bool:
+    """``TS(i) > TS(j)`` per Definition 6."""
+    return compare(left, right).ordering is Ordering.GREATER
+
+
+def render_snapshot(elements: Sequence[Element]) -> str:
+    """Render an element tuple the way the paper prints vectors: ``<1,*>``."""
+    rendered = ",".join(
+        "*" if element is UNDEFINED else str(element) for element in elements
+    )
+    return f"<{rendered}>"
+
+
+class Counters:
+    """The ``lcount``/``ucount`` pair for a k-th column (Algorithm 1).
+
+    ``ucount`` hands out strictly increasing values, ``lcount`` strictly
+    decreasing ones, so every value drawn from a :class:`Counters` instance
+    is distinct and every *new* upper value exceeds all previously issued
+    values (and symmetrically for lower values) — the property the ``Set``
+    procedure relies on at position ``k``.
+    """
+
+    __slots__ = ("_lcount", "_ucount")
+
+    def __init__(self, lcount: int = 0, ucount: int = 1) -> None:
+        self._lcount = lcount
+        self._ucount = ucount
+
+    @property
+    def lcount(self) -> int:
+        return self._lcount
+
+    @property
+    def ucount(self) -> int:
+        return self._ucount
+
+    def fresh_upper(self) -> Element:
+        """Next value from the top (``ucount``; post-incremented)."""
+        value = self._make(self._ucount)
+        self._ucount += 1
+        return value
+
+    def fresh_upper_pair(self) -> tuple[Element, Element]:
+        """Two consecutive upper values (the ``=`` case at position k)."""
+        return self.fresh_upper(), self.fresh_upper()
+
+    def fresh_lower(self) -> Element:
+        """Next value from the bottom (``lcount``; post-decremented)."""
+        value = self._make(self._lcount)
+        self._lcount -= 1
+        return value
+
+    def _make(self, counter: int) -> Element:
+        """Hook for subclasses to tag values (see DMT(k)'s site tags)."""
+        return counter
+
+
+class SiteTaggedCounters(Counters):
+    """Counters producing globally unique ``(counter, site)`` pairs.
+
+    Section V-B: in DMT(k) each site runs its own counters, so bare counter
+    values may collide across sites.  Concatenating the site number as the
+    low-order component keeps values distinct while staying fair (the
+    counter stays the high-order component).
+    """
+
+    __slots__ = ("site",)
+
+    def __init__(self, site: int, lcount: int = 0, ucount: int = 1) -> None:
+        super().__init__(lcount=lcount, ucount=ucount)
+        self.site = site
+
+    def _make(self, counter: int) -> Element:
+        return (counter, self.site)
+
+    def synchronize(self, lcount: int, ucount: int) -> None:
+        """Periodic counter synchronization across sites (Section V-B 1b):
+        adopt the fleet-wide bounds if they are wider than the local ones."""
+        self._lcount = min(self._lcount, lcount)
+        self._ucount = max(self._ucount, ucount)
+
+    def ensure_above(self, element: Element) -> None:
+        """Make the next upper value compare above an observed k-th element
+        (Lamport-style join).
+
+        A site's local ``ucount`` is only monotone locally; when the
+        protocol must encode "greater than this observed remote value" the
+        counter first advances past it — otherwise the assignment could
+        silently encode the wrong direction.  The paper's periodic
+        synchronization makes this cheap in practice; the join makes it
+        *correct* unconditionally.
+        """
+        counter = element[0] if isinstance(element, tuple) else int(element)
+        self._ucount = max(self._ucount, counter + 1)
+
+    def ensure_below(self, element: Element) -> None:
+        """Make the next lower value compare below an observed element."""
+        counter = element[0] if isinstance(element, tuple) else int(element)
+        self._lcount = min(self._lcount, counter - 1)

@@ -1,0 +1,17 @@
+"""Distributed-system substrate for DMT(k): network, clocks, lock rounds."""
+
+from .network import Message, MsgKind, Network
+from .clocks import LamportClock, SimClock
+from .simulation import LockWorkItem, SimulationResult, ordered, run_rounds
+
+__all__ = [
+    "Message",
+    "MsgKind",
+    "Network",
+    "LamportClock",
+    "SimClock",
+    "LockWorkItem",
+    "SimulationResult",
+    "ordered",
+    "run_rounds",
+]

@@ -1,0 +1,53 @@
+"""Clock primitives for the decentralized protocol (Section V-B 1).
+
+The paper suggests letting ``ucount`` track a local real clock (and
+``lcount`` its negation) so that periodic synchronization suffices.  The
+simulation provides:
+
+* :class:`LamportClock` — the classic logical clock: ticks on local events,
+  joins on received values.  This is what the DMT(k) counters effectively
+  implement when they *observe* remote k-th elements before drawing a fresh
+  value.
+* :class:`SimClock` — a per-site "real" clock advancing with simulated time
+  plus a fixed skew, used by the counter-synchronization experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LamportClock:
+    """A logical clock: ``tick`` for local events, ``join`` on receipt."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def tick(self) -> int:
+        self.value += 1
+        return self.value
+
+    def join(self, observed: int) -> int:
+        """Advance past an observed remote value (then tick)."""
+        self.value = max(self.value, observed)
+        return self.tick()
+
+
+@dataclass
+class SimClock:
+    """A site-local real clock: simulated global time plus constant skew."""
+
+    skew: int = 0
+    _time: int = 0
+
+    def advance(self, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("time cannot go backwards")
+        self._time += delta
+
+    def now(self) -> int:
+        return self._time + self.skew
+
+    def synchronize(self, reference_time: int) -> None:
+        """Clock sync: adopt the reference (skew collapses to zero)."""
+        self.skew = reference_time - self._time

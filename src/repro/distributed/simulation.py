@@ -1,0 +1,107 @@
+"""Round-based concurrent lock acquisition (Section V-B 2).
+
+DMT(k) prevents deadlock by acquiring the (up to four) objects an operation
+needs in a predefined linear order.  The synchronous scheduler cannot show
+*why* that matters, so this module simulates genuinely concurrent
+operations: each in-flight operation holds some locks and requests the next
+one each round; an operation that has all its locks executes and releases
+them.
+
+With ordered acquisition the simulation always drains (the operation
+holding the highest-ordered lock can always progress).  With unordered
+acquisition — each operation asks in its own arrival order — the classic
+circular waits appear; :func:`run_rounds` detects and reports them, which
+the DMT bench uses as the baseline that motivates the paper's rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..storage.locks import LockManager, LockMode, LockOutcome
+
+
+@dataclass
+class LockWorkItem:
+    """One concurrent operation: the lock set it needs, in request order."""
+
+    owner: Hashable
+    lock_ids: list[Hashable]
+    acquired: int = 0  # how many of lock_ids are held
+    done: bool = False
+    waiting_for: Hashable | None = None
+
+    @property
+    def next_lock(self) -> Hashable | None:
+        if self.acquired < len(self.lock_ids):
+            return self.lock_ids[self.acquired]
+        return None
+
+
+@dataclass
+class SimulationResult:
+    rounds: int
+    completed: int
+    deadlocked: bool
+    deadlock_cycle: list[Hashable] = field(default_factory=list)
+
+
+def ordered(lock_ids: Sequence[Hashable]) -> list[Hashable]:
+    """The paper's rule: request locks in the predefined linear order."""
+    return sorted(set(lock_ids), key=repr)
+
+
+def run_rounds(
+    items: Sequence[LockWorkItem], max_rounds: int = 10_000
+) -> SimulationResult:
+    """Drive concurrent operations to completion or deadlock.
+
+    Each round every unfinished operation (in arrival order) either
+    acquires its next lock or keeps waiting; operations holding their full
+    lock set complete and release everything (waking FIFO waiters).
+    Deadlock is declared when a full round passes with waiting operations
+    and zero progress.
+    """
+    manager = LockManager()
+    pending = [item for item in items if not item.done]
+    granted_waiters: set[tuple[Hashable, Hashable]] = set()
+
+    for round_no in range(1, max_rounds + 1):
+        progress = False
+        for item in pending:
+            if item.done:
+                continue
+            lock_id = item.next_lock
+            if lock_id is None:
+                pass  # all locks held; completes below
+            elif (item.owner, lock_id) in granted_waiters:
+                granted_waiters.discard((item.owner, lock_id))
+                item.acquired += 1
+                item.waiting_for = None
+                progress = True
+            elif item.waiting_for is None:
+                outcome = manager.acquire(lock_id, item.owner, LockMode.EXCLUSIVE)
+                if outcome is LockOutcome.WAIT:
+                    item.waiting_for = lock_id
+                else:
+                    item.acquired += 1
+                    progress = True
+            if item.next_lock is None and not item.done:
+                for held in item.lock_ids:
+                    for woken in manager.release(held, item.owner):
+                        granted_waiters.add((woken, held))
+                item.done = True
+                progress = True
+        pending = [item for item in pending if not item.done]
+        if not pending:
+            return SimulationResult(round_no, len(items), deadlocked=False)
+        if not progress and not granted_waiters:
+            cycle = [item.owner for item in pending if item.waiting_for]
+            return SimulationResult(
+                round_no,
+                len(items) - len(pending),
+                deadlocked=True,
+                deadlock_cycle=cycle,
+            )
+    raise RuntimeError(f"simulation did not settle in {max_rounds} rounds")

@@ -1,0 +1,33 @@
+"""Execution engine: executor, baseline schedulers, rollback machinery."""
+
+from .scheduler_api import (
+    Decision,
+    DecisionStatus,
+    RunResult,
+    Scheduler,
+    acceptance_count,
+)
+from .executor import ExecutionReport, TransactionExecutor
+from .two_pl_scheduler import StrictTwoPLScheduler
+from .to_scheduler import ConventionalTOScheduler
+from .optimistic import OptimisticScheduler
+from .interval import Interval, IntervalScheduler
+
+__all__ = [
+    "Decision",
+    "DecisionStatus",
+    "RunResult",
+    "Scheduler",
+    "acceptance_count",
+    "ExecutionReport",
+    "TransactionExecutor",
+    "StrictTwoPLScheduler",
+    "ConventionalTOScheduler",
+    "OptimisticScheduler",
+    "Interval",
+    "IntervalScheduler",
+]
+
+from .adaptive import AdaptationEvent, AdaptiveMTController
+
+__all__ += ["AdaptationEvent", "AdaptiveMTController"]

@@ -1,0 +1,112 @@
+"""An adaptive vector-size controller (the Section IV closing remark).
+
+"We have found that the timestamp vector is a useful tool for switching
+between classes of concurrency algorithms such as MT(k1) and MT(k2).
+This work is being used for the design of adaptable concurrency control
+mechanisms [8]."
+
+:class:`AdaptiveMTController` is a minimal such mechanism: it schedules a
+stream of logs (transaction batches), watches the recent acceptance rate
+over a sliding window, and grows or shrinks the vector dimension between
+batches — growing toward the Theorem 3 ceiling ``2q - 1`` when aborts
+pile up, shrinking back toward the cheap MT(1) when the workload calms
+down.  Switching happens only at batch boundaries, where the timestamp
+table restarts cleanly (the epoch argument: all effects of the previous
+batch are committed or rolled back, so cross-epoch serialization is
+trivially consistent).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.composite import MTkStarScheduler
+from ..core.mtk import MTkScheduler
+from ..model.log import Log
+
+
+@dataclass
+class AdaptationEvent:
+    """One controller decision, for inspection and the bench report."""
+
+    batch: int
+    k: int
+    recent_acceptance: float
+    action: str  # "grow" | "shrink" | "hold"
+
+
+class AdaptiveMTController:
+    """Adjusts the MT vector size between transaction batches."""
+
+    def __init__(
+        self,
+        k_min: int = 1,
+        k_max: int = 5,
+        window: int = 20,
+        grow_below: float = 0.55,
+        shrink_above: float = 0.9,
+        composite: bool = False,
+    ) -> None:
+        if not 1 <= k_min <= k_max:
+            raise ValueError("need 1 <= k_min <= k_max")
+        if not 0.0 <= grow_below <= shrink_above <= 1.0:
+            raise ValueError("need 0 <= grow_below <= shrink_above <= 1")
+        self.k_min = k_min
+        self.k_max = k_max
+        self.window = window
+        self.grow_below = grow_below
+        self.shrink_above = shrink_above
+        self.composite = composite
+        self.k = k_min
+        self._recent: deque[bool] = deque(maxlen=window)
+        self.history: list[AdaptationEvent] = []
+        self._batch = 0
+        #: anti-thrash floor: raised when a shrink is immediately punished
+        #: by a grow, so the controller stops ping-ponging around a k the
+        #: workload genuinely needs.
+        self._floor = k_min
+
+    # ------------------------------------------------------------------
+    def _scheduler(self):
+        if self.composite:
+            return MTkStarScheduler(self.k)
+        return MTkScheduler(self.k)
+
+    def schedule_batch(self, log: Log) -> bool:
+        """Schedule one batch with the current k; returns acceptance and
+        adapts for the next batch."""
+        accepted = self._scheduler().accepts(log)
+        self._recent.append(accepted)
+        self._batch += 1
+        self._adapt()
+        return accepted
+
+    def _adapt(self) -> None:
+        if len(self._recent) < self.window:
+            return
+        rate = sum(self._recent) / len(self._recent)
+        action = "hold"
+        if rate < self.grow_below and self.k < self.k_max:
+            self.k += 1
+            action = "grow"
+            if self.history and self.history[-1].action == "shrink":
+                self._floor = max(self._floor, self.k)  # punished shrink
+            self._recent.clear()
+        elif rate > self.shrink_above and self.k > max(self.k_min, self._floor):
+            self.k -= 1
+            action = "shrink"
+            self._recent.clear()
+        self.history.append(
+            AdaptationEvent(self._batch, self.k, rate, action)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def recent_acceptance(self) -> float:
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+    def switches(self) -> int:
+        return sum(1 for e in self.history if e.action != "hold")

@@ -1,0 +1,295 @@
+"""End-to-end transaction execution: scheduler + storage + restarts.
+
+The paper's protocols are recognizers over logs; a real system also moves
+data and retries aborted transactions.  The executor drives any
+:class:`~repro.core.protocol.Scheduler` against a
+:class:`~repro.storage.database.Database` with undo logging:
+
+* an **accepted** read/write executes against the database (reads return
+  the stored value; writes store a value derived from the transaction id,
+  so reads-from relationships are observable in the final state);
+* an **ignored** write (Thomas rule) is skipped;
+* a **rejected** operation aborts the issuing transaction: its writes are
+  rolled back through the undo log and the whole transaction is re-queued
+  (fresh attempt) until ``max_attempts`` is exhausted.
+
+Two Section VI-C options change the abort story:
+
+* ``rollback="partial"`` (VI-C 1, MT(k) schedulers only): when the
+  scheduler reports the abort as *partial-rollback-safe* (no transaction
+  ordered after the victim yet), the victim keeps its executed prefix and
+  resumes from the failed operation — which now succeeds, because the
+  vector was re-seeded past the blocker.
+* ``write_policy="deferred"`` (VI-C 2): writes are buffered privately and
+  validated/applied only at the transaction's last operation ("two-phase
+  commit for each write").  Aborts then cost no undo at all and a
+  committed transaction can never abort.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.protocol import Decision, DecisionStatus, Scheduler
+from ..model.dependency import DependencyGraph
+from ..model.generator import interleave
+from ..model.log import Log
+from ..model.operations import Operation, Transaction
+from ..storage.database import Database
+from ..storage.wal import UndoLog
+
+
+@dataclass
+class ExecutionReport:
+    """What an execution did, for the rollback/throughput benches."""
+
+    committed: set[int] = field(default_factory=set)
+    failed: set[int] = field(default_factory=set)
+    restarts: int = 0
+    ops_executed: int = 0
+    ops_reexecuted: int = 0  # work thrown away and redone after aborts
+    ignored_writes: int = 0
+    undo_count: int = 0
+    committed_ops: list[Operation] = field(default_factory=list)
+
+    @property
+    def committed_log(self) -> Log:
+        """The log of performed operations of committed transactions — the
+        serializability witness checked by tests."""
+        committed = self.committed
+        return Log(
+            tuple(op for op in self.committed_ops if op.txn in committed)
+        )
+
+    def is_serializable(self) -> bool:
+        """The committed projection must always be DSR (Theorem 2
+        end-to-end)."""
+        return not DependencyGraph.of_log(self.committed_log).has_cycle()
+
+
+@dataclass
+class _TxnState:
+    txn: Transaction
+    position: int = 0  # next program operation to issue
+    attempt: int = 1
+    buffered_writes: list[Operation] = field(default_factory=list)
+    executed_this_attempt: int = 0
+
+
+class TransactionExecutor:
+    """Drives transactions through a scheduler with retry semantics."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        database: Database | None = None,
+        max_attempts: int = 10,
+        write_policy: str = "immediate",
+        rollback: str = "full",
+    ) -> None:
+        if write_policy not in ("immediate", "deferred"):
+            raise ValueError("write_policy must be 'immediate' or 'deferred'")
+        if rollback not in ("full", "partial"):
+            raise ValueError("rollback must be 'full' or 'partial'")
+        self.scheduler = scheduler
+        self.database = database if database is not None else Database()
+        self.max_attempts = max_attempts
+        self.write_policy = write_policy
+        self.rollback = rollback
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        transactions: Sequence[Transaction],
+        schedule: Log | None = None,
+        seed: int = 0,
+    ) -> ExecutionReport:
+        """Run *transactions* along *schedule* (or a seeded random
+        interleaving), retrying aborted transactions at the tail."""
+        if schedule is None:
+            schedule = interleave(transactions, random.Random(seed))
+        self.scheduler.reset()
+        plan = getattr(self.scheduler, "plan_transactions", None)
+        if callable(plan):
+            plan(transactions)
+        undo = UndoLog(self.database)
+        report = ExecutionReport()
+        states = {t.txn_id: _TxnState(t) for t in transactions}
+        self._states = states
+
+        # The work queue: planned operations first, retried programs after.
+        queue: list[int] = [op.txn for op in schedule]
+        pointer = 0
+        while pointer < len(queue):
+            txn_id = queue[pointer]
+            pointer += 1
+            state = states[txn_id]
+            if txn_id in report.failed or txn_id in report.committed:
+                continue
+            if state.position >= state.txn.num_operations:
+                continue
+            op = state.txn.operations[state.position]
+            finished = self._step(state, op, undo, report, queue)
+            if finished:
+                self._try_commit(state, undo, report, queue)
+        return report
+
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        state: _TxnState,
+        op: Operation,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: list[int],
+    ) -> bool:
+        """Issue one operation; returns True when the program completed."""
+        if self.write_policy == "deferred" and op.kind.is_write:
+            state.buffered_writes.append(op)
+            state.position += 1
+            return state.position >= state.txn.num_operations
+
+        decision = self.scheduler.process(op)
+        if decision.status is DecisionStatus.REJECT:
+            if getattr(self.scheduler, "failed", False):
+                # Algorithm 2 step 4 i): the composite scheduler has no
+                # surviving subprotocol — abort ALL active transactions,
+                # roll back, reinitialize, restart (epoch reset; committed
+                # work is strictly in the past so cross-epoch serialization
+                # order is trivially consistent).
+                self._global_restart(undo, report, queue)
+            else:
+                self._handle_abort(state, undo, report, queue)
+            return False
+        if decision.status is DecisionStatus.IGNORE:
+            report.ignored_writes += 1
+        else:
+            self._perform(op, undo, report)
+            state.executed_this_attempt += 1
+        state.position += 1
+        return state.position >= state.txn.num_operations
+
+    def _perform(
+        self, op: Operation, undo: UndoLog, report: ExecutionReport
+    ) -> None:
+        if op.kind.is_read:
+            self.database.read(op.item)
+        else:
+            value = f"v{op.txn}:{op.item}"
+            before = self.database.write(op.item, value)
+            undo.record_write(op.txn, op.item, before, after=value)
+        report.ops_executed += 1
+        report.committed_ops.append(op)
+
+    def _try_commit(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: list[int],
+    ) -> None:
+        txn_id = state.txn.txn_id
+        # Deferred writes (VI-C 2): first run every buffered write through
+        # the scheduler (no data moves yet), then validate, then apply — so
+        # an abort at any stage costs no undo.
+        decisions: list[Decision] = []
+        for op in state.buffered_writes:
+            decision = self.scheduler.process(op)
+            if decision.status is DecisionStatus.REJECT:
+                self._handle_abort(state, undo, report, queue)
+                return
+            decisions.append(decision)
+        validate = getattr(self.scheduler, "validate_commit", None)
+        if callable(validate) and not validate(txn_id):
+            self._handle_abort(state, undo, report, queue)
+            return
+        for decision in decisions:
+            if decision.status is DecisionStatus.IGNORE:
+                report.ignored_writes += 1
+            else:
+                self._perform(decision.op, undo, report)
+        state.buffered_writes.clear()
+        undo.commit(txn_id)
+        report.committed.add(txn_id)
+        commit = getattr(self.scheduler, "commit", None)
+        if callable(commit):
+            commit(txn_id)
+
+    def _handle_abort(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: list[int],
+    ) -> None:
+        txn_id = state.txn.txn_id
+        partial_ok = self.rollback == "partial" and txn_id in getattr(
+            self.scheduler, "partial_ok", ()
+        )
+        if partial_ok:
+            # VI-C 1: effects preserved; resume at the failed operation.
+            self.scheduler.restart(txn_id)
+            report.restarts += 1
+            queue.append(txn_id)  # the failed op will be reissued
+            self._requeue_remaining(state, queue)
+            return
+        # Full rollback: undo writes, discard the attempt, retry or fail.
+        report.undo_count += undo.rollback(txn_id)
+        report.ops_reexecuted += state.executed_this_attempt
+        self._drop_executed_ops(txn_id, state, report)
+        state.buffered_writes.clear()
+        state.position = 0
+        state.executed_this_attempt = 0
+        if state.attempt >= self.max_attempts:
+            report.failed.add(txn_id)
+            return
+        state.attempt += 1
+        report.restarts += 1
+        restart = getattr(self.scheduler, "restart", None)
+        if callable(restart):
+            restart(txn_id)
+        queue.extend([txn_id] * state.txn.num_operations)
+
+    def _global_restart(
+        self, undo: UndoLog, report: ExecutionReport, queue: list[int]
+    ) -> None:
+        self.scheduler.reset()
+        for state in self._states.values():
+            txn_id = state.txn.txn_id
+            if txn_id in report.committed or txn_id in report.failed:
+                continue
+            if state.position == 0 and state.executed_this_attempt == 0:
+                continue  # had not started; nothing to roll back
+            report.undo_count += undo.rollback(txn_id)
+            report.ops_reexecuted += state.executed_this_attempt
+            self._drop_executed_ops(txn_id, state, report)
+            state.buffered_writes.clear()
+            state.position = 0
+            state.executed_this_attempt = 0
+            if state.attempt >= self.max_attempts:
+                report.failed.add(txn_id)
+                continue
+            state.attempt += 1
+            report.restarts += 1
+            queue.extend([txn_id] * state.txn.num_operations)
+
+    def _requeue_remaining(self, state: _TxnState, queue: list[int]) -> None:
+        remaining = state.txn.num_operations - state.position - 1
+        queue.extend([state.txn.txn_id] * max(0, remaining))
+
+    def _drop_executed_ops(
+        self, txn_id: int, state: _TxnState, report: ExecutionReport
+    ) -> None:
+        """Remove the aborted attempt's operations from the committed-ops
+        record (they were rolled back)."""
+        kept: list[Operation] = []
+        to_drop = state.executed_this_attempt
+        for op in reversed(report.committed_ops):
+            if to_drop and op.txn == txn_id:
+                to_drop -= 1
+                continue
+            kept.append(op)
+        kept.reverse()
+        report.committed_ops = kept

@@ -1,0 +1,114 @@
+"""An optimistic (Kung-Robinson style) concurrency-control baseline.
+
+Section I cites the optimistic approach [13] as the other pole from
+conservative timestamping: run freely, validate at commit.  Section VI-C 2
+compares the paper's two-phase-commit-of-writes scheme against it.
+
+As a recognizer over a fixed log: reads and (buffered) writes always
+succeed; at a transaction's *last* operation it validates backward against
+every transaction that committed after it started — if any such committer's
+write set intersects this transaction's read set, or both write sets
+intersect (serial validation with overlapping writes forbidden), the
+transaction is rejected at its commit point.
+"""
+
+from __future__ import annotations
+
+from ..model.log import Log
+from ..model.operations import Operation
+from ..core.protocol import Decision, DecisionStatus, RunResult, Scheduler
+
+
+class OptimisticScheduler(Scheduler):
+    """Backward-validating optimistic scheduler (commit at last op)."""
+
+    def __init__(self) -> None:
+        self.name = "OPT"
+        self.reset()
+
+    def reset(self) -> None:
+        self._serial = 0  # commit counter
+        self._start: dict[int, int] = {}  # txn -> commit count at start
+        self._read_set: dict[int, set[str]] = {}
+        self._write_set: dict[int, set[str]] = {}
+        self._committed: list[tuple[int, set[str]]] = []  # (serial, writes)
+        self._remaining: dict[int, int] = {}
+        self.aborted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def process(self, op: Operation) -> Decision:
+        txn = op.txn
+        if txn not in self._start:
+            self._start[txn] = self._serial
+            self._read_set[txn] = set()
+            self._write_set[txn] = set()
+        if op.kind.is_read:
+            self._read_set[txn].add(op.item)
+        else:
+            self._write_set[txn].add(op.item)
+        if txn in self._remaining:
+            self._remaining[txn] -= 1
+            if self._remaining[txn] == 0:
+                return self._validate(op)
+        return Decision(DecisionStatus.ACCEPT, op)
+
+    def _validate(self, op: Operation) -> Decision:
+        if self.validate_commit(op.txn):
+            return Decision(DecisionStatus.ACCEPT, op, "validated")
+        return Decision(
+            DecisionStatus.REJECT, op, "backward validation failed"
+        )
+
+    def validate_commit(self, txn: int) -> bool:
+        """Backward validation at commit (executor hook): fails when a
+        transaction committed after this one started wrote into its read or
+        write set."""
+        reads = self._read_set.get(txn, set())
+        writes = self._write_set.get(txn, set())
+        for serial, committed_writes in self._committed:
+            if serial <= self._start.get(txn, 0):
+                continue
+            if committed_writes & reads or committed_writes & writes:
+                self.aborted.add(txn)
+                return False
+        self._serial += 1
+        self._committed.append((self._serial, set(writes)))
+        return True
+
+    def restart(self, txn: int) -> None:
+        self.aborted.discard(txn)
+        for table in (self._start, self._read_set, self._write_set):
+            table.pop(txn, None)
+
+    # ------------------------------------------------------------------
+    def _plan_commits(self, log: Log) -> None:
+        counts: dict[int, int] = {}
+        for op in log:
+            counts[op.txn] = counts.get(op.txn, 0) + 1
+        self._remaining = counts
+
+    def accepts(self, log: Log) -> bool:
+        self.reset()
+        self._plan_commits(log)
+        for op in log:
+            if not self.process(op).accepted:
+                return False
+        return True
+
+    def run(self, log: Log, stop_on_reject: bool = False) -> RunResult:
+        self.reset()
+        self._plan_commits(log)
+        result = RunResult(log=log)
+        for op in log:
+            if op.txn in result.aborted:
+                decision = Decision(
+                    DecisionStatus.REJECT, op, "transaction already aborted"
+                )
+            else:
+                decision = self.process(op)
+            result.decisions.append(decision)
+            if decision.status is DecisionStatus.REJECT:
+                result.aborted.add(op.txn)
+                if stop_on_reject:
+                    break
+        return result

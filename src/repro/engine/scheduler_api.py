@@ -1,0 +1,22 @@
+"""Public scheduler interface (re-exported from :mod:`repro.core.protocol`).
+
+Every concurrency controller in this package and in :mod:`repro.core`
+implements :class:`Scheduler`; the executor, the analysis harness, and the
+benches treat them uniformly through it.
+"""
+
+from ..core.protocol import (
+    Decision,
+    DecisionStatus,
+    RunResult,
+    Scheduler,
+    acceptance_count,
+)
+
+__all__ = [
+    "Decision",
+    "DecisionStatus",
+    "RunResult",
+    "Scheduler",
+    "acceptance_count",
+]

@@ -1,0 +1,72 @@
+"""Conventional single-valued timestamp ordering (the paper's baseline).
+
+This is the classic protocol the introduction contrasts MT(k) against
+(protocol P4 of SDD-1 [4] / basic TO [2, 21]): every transaction receives a
+scalar timestamp at its *first* operation (its arrival order), and every
+conflicting pair must occur in timestamp order:
+
+* a read of ``x`` is rejected when the reader's timestamp is below the
+  largest write timestamp of ``x``;
+* a write of ``x`` is rejected when the writer's timestamp is below the
+  largest read or write timestamp of ``x`` (with the Thomas write rule the
+  second case is ignored instead of rejected).
+
+Example 1 of the paper is exactly the log this scheduler loses and MT(2)
+wins: after ``R3[x] R2[y]``, T3's scalar timestamp already exceeds T2's, so
+the later ``W3[y]`` (which needs T2 before T3) aborts T3.
+"""
+
+from __future__ import annotations
+
+from ..model.operations import Operation
+from ..core.protocol import Decision, DecisionStatus, Scheduler
+
+
+class ConventionalTOScheduler(Scheduler):
+    """Basic scalar timestamp ordering, timestamps by first operation."""
+
+    def __init__(self, thomas_write_rule: bool = False) -> None:
+        self.thomas_write_rule = thomas_write_rule
+        self.name = "TO(scalar)" + ("+thomas" if thomas_write_rule else "")
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_ts = 1
+        self._ts: dict[int, int] = {}
+        self._read_ts: dict[str, int] = {}
+        self._write_ts: dict[str, int] = {}
+        self.aborted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _timestamp(self, txn: int) -> int:
+        if txn not in self._ts:
+            self._ts[txn] = self._next_ts
+            self._next_ts += 1
+        return self._ts[txn]
+
+    def process(self, op: Operation) -> Decision:
+        ts = self._timestamp(op.txn)
+        x = op.item
+        if op.kind.is_read:
+            if ts < self._write_ts.get(x, 0):
+                self.aborted.add(op.txn)
+                return Decision(
+                    DecisionStatus.REJECT, op, f"ts {ts} < WT({x})"
+                )
+            self._read_ts[x] = max(self._read_ts.get(x, 0), ts)
+            return Decision(DecisionStatus.ACCEPT, op)
+        if ts < self._read_ts.get(x, 0):
+            self.aborted.add(op.txn)
+            return Decision(DecisionStatus.REJECT, op, f"ts {ts} < RT({x})")
+        if ts < self._write_ts.get(x, 0):
+            if self.thomas_write_rule:
+                return Decision(DecisionStatus.IGNORE, op, "thomas-write-rule")
+            self.aborted.add(op.txn)
+            return Decision(DecisionStatus.REJECT, op, f"ts {ts} < WT({x})")
+        self._write_ts[x] = ts
+        return Decision(DecisionStatus.ACCEPT, op)
+
+    def restart(self, txn: int) -> None:
+        """Retry with a fresh (larger) timestamp, the classic TO restart."""
+        self.aborted.discard(txn)
+        self._ts.pop(txn, None)

@@ -1,0 +1,130 @@
+"""An online strict two-phase-locking scheduler (baseline).
+
+This is the *scheduler* 2PL baseline: shared locks for reads, exclusive
+locks for writes, all locks held until the transaction's last operation
+(strict 2PL).  Operating as a recognizer over a fixed log, an operation
+whose lock cannot be granted immediately is rejected — a real lock manager
+would block the transaction, i.e. would not have produced this operation
+order.
+
+Lock modes are *pre-declared*: a transaction that will later write an item
+takes the exclusive lock at its first access (conservative-mode locking,
+avoiding S->X conversions).  This matches the one-strongest-lock-per-item
+model of the :mod:`repro.classes.two_pl` class tester exactly, so a
+property test can assert the online scheduler accepts only 2PL-class logs.
+The recognized class is still a *subset* of the full 2PL class (which may
+place lock points with knowledge of the future); both appear in the
+degree-of-concurrency benches.  Knowing each transaction's last operation
+and item modes is a recognizer convenience: ``accepts`` and ``run``
+precompute them from the log, while executor-driven use supplies the
+transaction programs via :meth:`plan_transactions` and releases on an
+explicit :meth:`commit`.
+"""
+
+from __future__ import annotations
+
+from ..model.log import Log
+from ..model.operations import Operation
+from ..core.protocol import Decision, DecisionStatus, RunResult, Scheduler
+from ..storage.locks import LockManager, LockMode, LockOutcome
+
+
+class StrictTwoPLScheduler(Scheduler):
+    """Strict 2PL over database items, as an accept/reject recognizer."""
+
+    def __init__(self) -> None:
+        self.name = "2PL(strict)"
+        self.reset()
+
+    def reset(self) -> None:
+        self.locks = LockManager()
+        self.aborted: set[int] = set()
+        self._release_after: dict[int, int] = {}
+        self._ops_seen: dict[int, int] = {}
+        self._modes: dict[tuple[int, str], LockMode] = {}
+
+    # ------------------------------------------------------------------
+    def process(self, op: Operation) -> Decision:
+        mode = self._modes.get(
+            (op.txn, op.item),
+            LockMode.SHARED if op.kind.is_read else LockMode.EXCLUSIVE,
+        )
+        outcome = self.locks.acquire(op.item, op.txn, mode)
+        if outcome is LockOutcome.WAIT:
+            # Withdraw the queued request: a blocked transaction would not
+            # have issued this operation here.
+            self._withdraw(op.item, op.txn)
+            self.aborted.add(op.txn)
+            self.locks.release_all(op.txn)
+            return Decision(
+                DecisionStatus.REJECT, op, f"lock on {op.item} unavailable"
+            )
+        self._ops_seen[op.txn] = self._ops_seen.get(op.txn, 0) + 1
+        if self._ops_seen[op.txn] == self._release_after.get(op.txn, -1):
+            self.locks.release_all(op.txn)
+        return Decision(DecisionStatus.ACCEPT, op)
+
+    def _withdraw(self, item: str, txn: int) -> None:
+        queue = self.locks.waiting(item)
+        state = self.locks._locks.get(item)
+        if state is not None:
+            state.queue = [(o, m) for o, m in state.queue if o != txn]
+
+    # ------------------------------------------------------------------
+    def commit(self, txn: int) -> None:
+        """Executor-driven release point (strictness)."""
+        self.locks.release_all(txn)
+
+    def restart(self, txn: int) -> None:
+        self.aborted.discard(txn)
+        self.locks.release_all(txn)
+        self._ops_seen.pop(txn, None)
+
+    def plan_transactions(self, transactions) -> None:
+        """Executor hook: pre-declare the strongest lock mode per
+        (transaction, item) from the transaction programs."""
+        for txn in transactions:
+            for op in txn.operations:
+                key = (op.txn, op.item)
+                if op.kind.is_write:
+                    self._modes[key] = LockMode.EXCLUSIVE
+                else:
+                    self._modes.setdefault(key, LockMode.SHARED)
+
+    # ------------------------------------------------------------------
+    def _plan_releases(self, log: Log) -> None:
+        counts: dict[int, int] = {}
+        for op in log:
+            counts[op.txn] = counts.get(op.txn, 0) + 1
+            key = (op.txn, op.item)
+            if op.kind.is_write:
+                self._modes[key] = LockMode.EXCLUSIVE
+            else:
+                self._modes.setdefault(key, LockMode.SHARED)
+        self._release_after = counts
+
+    def accepts(self, log: Log) -> bool:
+        self.reset()
+        self._plan_releases(log)
+        for op in log:
+            if not self.process(op).accepted:
+                return False
+        return True
+
+    def run(self, log: Log, stop_on_reject: bool = False) -> RunResult:
+        self.reset()
+        self._plan_releases(log)
+        result = RunResult(log=log)
+        for op in log:
+            if op.txn in result.aborted:
+                decision = Decision(
+                    DecisionStatus.REJECT, op, "transaction already aborted"
+                )
+            else:
+                decision = self.process(op)
+            result.decisions.append(decision)
+            if decision.status is DecisionStatus.REJECT:
+                result.aborted.add(op.txn)
+                if stop_on_reject:
+                    break
+        return result

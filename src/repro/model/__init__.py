@@ -1,0 +1,64 @@
+"""Transaction/log model substrate (Section II of the paper)."""
+
+from .operations import (
+    OpKind,
+    Operation,
+    Transaction,
+    multi_step,
+    read,
+    two_step,
+    write,
+)
+from .log import Log, serial_permutations
+from .dependency import DependencyEdge, DependencyGraph, dependency_pairs
+from .generator import (
+    WorkloadSpec,
+    all_interleavings,
+    enumerate_small_logs,
+    enumerate_two_step_systems,
+    generate_transactions,
+    interleave,
+    random_log,
+    random_logs,
+)
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "Transaction",
+    "read",
+    "write",
+    "two_step",
+    "multi_step",
+    "Log",
+    "serial_permutations",
+    "DependencyEdge",
+    "DependencyGraph",
+    "dependency_pairs",
+    "WorkloadSpec",
+    "generate_transactions",
+    "interleave",
+    "random_log",
+    "random_logs",
+    "all_interleavings",
+    "enumerate_two_step_systems",
+    "enumerate_small_logs",
+]
+
+from .serialize import (
+    log_from_dict,
+    log_from_json,
+    log_to_dict,
+    log_to_json,
+    run_result_to_dict,
+    run_result_to_json,
+)
+
+__all__ += [
+    "log_to_dict",
+    "log_from_dict",
+    "log_to_json",
+    "log_from_json",
+    "run_result_to_dict",
+    "run_result_to_json",
+]

@@ -1,0 +1,189 @@
+"""Dependency relation between transactions (Definitions 1, 7; Theorem 1).
+
+Transaction ``T_i`` *immediately depends on* nothing — the paper's dependency
+relation runs the other way: ``T_i -> T_j`` ("T_j depends on T_i") when some
+operation of ``T_i`` precedes and conflicts with some operation of ``T_j``.
+The transitive closure of the immediate relation is Definition 7's ``->``.
+
+Theorem 1: a log is D-serializable (DSR) iff ``->`` is a partial order,
+i.e. the dependency digraph is acyclic; a topological sort then yields an
+equivalent serial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .log import Log
+from .operations import Operation
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """An immediate dependency ``source -> target`` created by a specific
+    pair of conflicting operations."""
+
+    source: int
+    target: int
+    cause: tuple[Operation, Operation]
+
+    def __str__(self) -> str:
+        a, b = self.cause
+        return f"T{self.source}->T{self.target} ({a} < {b})"
+
+
+class DependencyGraph:
+    """The dependency digraph of a log.
+
+    Nodes are transaction ids; a directed edge ``i -> j`` means ``T_j``
+    depends on ``T_i`` (``T_i``'s conflicting operation came first).
+    """
+
+    def __init__(self, txn_ids: Iterable[int]) -> None:
+        self._succ: dict[int, set[int]] = {t: set() for t in txn_ids}
+        self._edges: list[DependencyEdge] = []
+
+    @classmethod
+    def of_log(cls, log: Log) -> "DependencyGraph":
+        """Build the immediate-dependency digraph of *log* (Definition 7 i).
+
+        For every ordered pair of conflicting operations the earlier
+        operation's transaction points at the later operation's transaction.
+        """
+        graph = cls(log.txn_ids)
+        ops = log.operations
+        for later_pos, later in enumerate(ops):
+            for earlier in ops[:later_pos]:
+                if earlier.conflicts_with(later):
+                    graph.add_edge(earlier.txn, later.txn, (earlier, later))
+        return graph
+
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        cause: tuple[Operation, Operation] | None = None,
+    ) -> None:
+        self._succ.setdefault(source, set())
+        self._succ.setdefault(target, set())
+        if target not in self._succ[source] and cause is not None:
+            self._edges.append(DependencyEdge(source, target, cause))
+        self._succ[source].add(target)
+
+    @property
+    def nodes(self) -> frozenset[int]:
+        return frozenset(self._succ)
+
+    @property
+    def edges(self) -> Sequence[DependencyEdge]:
+        """Immediate dependency edges with their causing operation pairs
+        (first cause per (source, target) pair)."""
+        return tuple(self._edges)
+
+    def successors(self, node: int) -> frozenset[int]:
+        return frozenset(self._succ.get(node, ()))
+
+    def edge_pairs(self) -> Iterator[tuple[int, int]]:
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield source, target
+
+    # ------------------------------------------------------------------
+    def has_cycle(self) -> bool:
+        """True iff the digraph contains a directed cycle (so the log is
+        *not* DSR by Theorem 1)."""
+        return self.topological_order() is None
+
+    def topological_order(self) -> list[int] | None:
+        """A topological order of the nodes, or ``None`` if cyclic.
+
+        Kahn's algorithm with deterministic (sorted) tie-breaking so repeated
+        runs — and therefore serialization orders reported to users — are
+        stable.
+        """
+        indegree: dict[int, int] = {n: 0 for n in self._succ}
+        for _, target in self.edge_pairs():
+            indegree[target] += 1
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            inserted = False
+            for target in sorted(self._succ[node]):
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    ready.append(target)
+                    inserted = True
+            if inserted:
+                ready.sort()
+        if len(order) != len(self._succ):
+            return None
+        return order
+
+    def transitive_closure(self) -> dict[int, frozenset[int]]:
+        """Definition 7 ii): the full (transitive) dependency relation."""
+        closure: dict[int, frozenset[int]] = {}
+        for start in self._succ:
+            seen: set[int] = set()
+            stack = list(self._succ[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self._succ[node])
+            closure[start] = frozenset(seen)
+        return closure
+
+    def is_partial_order(self) -> bool:
+        """True iff the transitive dependency relation is a strict partial
+        order, i.e. irreflexive under transitivity — equivalently the
+        digraph is acyclic (Theorem 1)."""
+        return not self.has_cycle()
+
+    def find_cycle(self) -> list[int] | None:
+        """Return one directed cycle as a node list, or ``None``.
+
+        Useful in error messages and in the rollback module to pick a victim.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in self._succ}
+        parent: dict[int, int] = {}
+
+        for root in sorted(self._succ):
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[int, Iterator[int]]] = [
+                (root, iter(sorted(self._succ[root])))
+            ]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(sorted(self._succ[child]))))
+                        advanced = True
+                        break
+                    if color[child] == GRAY:
+                        cycle = [child, node]
+                        cursor = node
+                        while cursor != child:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        return cycle[:-1]
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+
+def dependency_pairs(log: Log) -> set[tuple[int, int]]:
+    """Immediate dependency pairs ``(i, j)`` with ``T_i -> T_j`` of a log."""
+    return set(DependencyGraph.of_log(log).edge_pairs())

@@ -1,0 +1,208 @@
+"""Random and exhaustive log generators.
+
+Two families of generators:
+
+* **Random generators** used by the concurrency-degree and complexity
+  experiments — parameterized by number of transactions, operations per
+  transaction, item-universe size, write ratio and access skew; and
+* **Exhaustive enumerators** of small logs used by the Fig. 4 hierarchy
+  census, which needs every interleaving of every small two-step transaction
+  system.
+
+All randomness flows through an explicit :class:`random.Random` so every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .log import Log
+from .operations import Operation, OpKind, Transaction, two_step
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a random workload.
+
+    Attributes
+    ----------
+    num_txns:
+        Number of transactions (``n`` in the paper's complexity analysis).
+    ops_per_txn:
+        Operations issued by each transaction (``q``); with
+        ``vary_length=True`` this is the maximum and lengths are uniform in
+        ``[1, ops_per_txn]``.
+    num_items:
+        Size of the database item universe ``D``.
+    write_ratio:
+        Probability that a generated operation is a write.
+    skew:
+        Zipf-like exponent for item popularity; ``0`` is uniform.  Larger
+        values concentrate accesses on few hot items (Section III-D-5's
+        "frequently accessed" regime).
+    two_step_model:
+        If true, each transaction's reads all precede its writes, matching
+        the analysis model of Section II.
+    vary_length:
+        If true, transaction lengths are sampled rather than fixed.
+    """
+
+    num_txns: int = 8
+    ops_per_txn: int = 4
+    num_items: int = 16
+    write_ratio: float = 0.5
+    skew: float = 0.0
+    two_step_model: bool = False
+    vary_length: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_txns < 1:
+            raise ValueError("num_txns must be positive")
+        if self.ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be positive")
+        if self.num_items < 1:
+            raise ValueError("num_items must be positive")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if self.skew < 0.0:
+            raise ValueError("skew must be non-negative")
+
+
+def _item_weights(spec: WorkloadSpec) -> list[float]:
+    if spec.skew == 0.0:
+        return [1.0] * spec.num_items
+    return [1.0 / (rank**spec.skew) for rank in range(1, spec.num_items + 1)]
+
+
+def _item_names(count: int) -> list[str]:
+    return [f"x{index}" for index in range(count)]
+
+
+def generate_transactions(
+    spec: WorkloadSpec, rng: random.Random
+) -> list[Transaction]:
+    """Sample the transaction programs (but not their interleaving)."""
+    items = _item_names(spec.num_items)
+    weights = _item_weights(spec)
+    transactions: list[Transaction] = []
+    for txn_id in range(1, spec.num_txns + 1):
+        length = (
+            rng.randint(1, spec.ops_per_txn)
+            if spec.vary_length
+            else spec.ops_per_txn
+        )
+        chosen = rng.choices(items, weights=weights, k=length)
+        kinds = [
+            OpKind.WRITE if rng.random() < spec.write_ratio else OpKind.READ
+            for _ in range(length)
+        ]
+        if spec.two_step_model:
+            reads = {x for x, k in zip(chosen, kinds) if k is OpKind.READ}
+            writes = {x for x, k in zip(chosen, kinds) if k is OpKind.WRITE}
+            if not reads and not writes:
+                reads = {chosen[0]}
+            transactions.append(two_step(txn_id, reads, writes))
+        else:
+            ops = tuple(
+                Operation(kind, txn_id, item)
+                for kind, item in zip(kinds, chosen)
+            )
+            transactions.append(Transaction(txn_id, ops))
+    return transactions
+
+
+def interleave(
+    transactions: Sequence[Transaction], rng: random.Random
+) -> Log:
+    """A uniformly random interleaving preserving each program order."""
+    cursors = {t.txn_id: 0 for t in transactions}
+    remaining = {t.txn_id: t.num_operations for t in transactions}
+    programs = {t.txn_id: t.operations for t in transactions}
+    ops: list[Operation] = []
+    active = [t.txn_id for t in transactions if remaining[t.txn_id]]
+    while active:
+        weights = [remaining[txn_id] for txn_id in active]
+        txn_id = rng.choices(active, weights=weights)[0]
+        ops.append(programs[txn_id][cursors[txn_id]])
+        cursors[txn_id] += 1
+        remaining[txn_id] -= 1
+        if remaining[txn_id] == 0:
+            active.remove(txn_id)
+    return Log(tuple(ops))
+
+
+def random_log(spec: WorkloadSpec, rng: random.Random) -> Log:
+    """One random log: sample programs, then interleave them."""
+    return interleave(generate_transactions(spec, rng), rng)
+
+
+def random_logs(
+    spec: WorkloadSpec, count: int, seed: int = 0
+) -> Iterator[Log]:
+    """A reproducible stream of *count* random logs."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_log(spec, rng)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration (for the Fig. 4 census)
+# ----------------------------------------------------------------------
+def all_interleavings(transactions: Sequence[Transaction]) -> Iterator[Log]:
+    """Every interleaving of the given programs, in lexicographic order of
+    the transaction-id sequence.
+
+    The number of interleavings is the multinomial coefficient of the
+    program lengths; keep programs small.
+    """
+    lengths = [t.num_operations for t in transactions]
+    programs = [t.operations for t in transactions]
+    slots: list[int] = []
+    for index, length in enumerate(lengths):
+        slots.extend([index] * length)
+    seen: set[tuple[int, ...]] = set()
+    for perm in itertools.permutations(slots):
+        if perm in seen:
+            continue
+        seen.add(perm)
+        cursors = [0] * len(transactions)
+        ops: list[Operation] = []
+        for which in perm:
+            ops.append(programs[which][cursors[which]])
+            cursors[which] += 1
+        yield Log(tuple(ops))
+
+
+def enumerate_two_step_systems(
+    num_txns: int, items: Sequence[str]
+) -> Iterator[list[Transaction]]:
+    """Every system of *num_txns* two-step transactions over *items* where
+    each transaction reads one item and writes one item.
+
+    This tiny family (``R_i[a] W_i[b]`` per transaction) is rich enough to
+    inhabit all twelve regions of Fig. 4 and matches the analysis model the
+    figure is stated for.
+    """
+    per_txn = list(itertools.product(items, items))
+    for combo in itertools.product(per_txn, repeat=num_txns):
+        yield [
+            two_step(txn_id, [r], [w])
+            for txn_id, (r, w) in enumerate(combo, start=1)
+        ]
+
+
+def enumerate_small_logs(
+    num_txns: int, items: Sequence[str], limit: int | None = None
+) -> Iterator[Log]:
+    """All interleavings of all two-step systems (optionally capped)."""
+    produced = 0
+    for system in enumerate_two_step_systems(num_txns, items):
+        for log in all_interleavings(system):
+            yield log
+            produced += 1
+            if limit is not None and produced >= limit:
+                return

@@ -1,0 +1,186 @@
+"""The log quintuple ``L = (D, T, Sigma, S, pi)`` of Section II.
+
+A :class:`Log` is the interleaved sequence of atomic operations produced by a
+set of transactions.  Following the paper:
+
+* ``D``      — the database item set (:attr:`Log.items`),
+* ``T``      — the transaction set (:attr:`Log.transactions`),
+* ``Sigma``  — the atomic operation set (:attr:`Log.operations`),
+* ``S``      — the access function (``Operation.item`` per atomic operation;
+  ``S(R_i)`` / ``S(W_i)`` via :class:`~repro.model.operations.Transaction`),
+* ``pi``     — the permutation function giving each operation's sequence
+  number (:meth:`Log.position`; positions are 1-based like the paper's
+  ``pi(alpha) = 1, 2, ...``).
+
+Logs are immutable; they are parsed from and rendered to the paper's compact
+string notation, e.g. ``"W1[x] W1[y] R3[x] R2[y]"``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .operations import Operation, OpKind, Transaction
+
+_OP_RE = re.compile(r"([RW])(\d+)\[([^\]\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Log:
+    """An immutable log of atomic operations.
+
+    Construct directly from a sequence of operations, or via :meth:`parse`
+    from the paper's notation.  Equality and hashing are by the operation
+    sequence, so logs can be deduplicated in enumeration experiments.
+    """
+
+    operations: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operations, tuple):
+            object.__setattr__(self, "operations", tuple(self.operations))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Log":
+        """Parse the paper's notation: ``"W1[x]W1[y]R3[x]R2[y]"``.
+
+        Whitespace between operations is optional.  Raises ``ValueError`` on
+        any text that is not a sequence of ``R``/``W`` operations.
+        """
+        stripped = re.sub(r"\s+", "", text)
+        pos = 0
+        ops: list[Operation] = []
+        for match in _OP_RE.finditer(stripped):
+            if match.start() != pos:
+                raise ValueError(f"unparseable log text at offset {pos}: {text!r}")
+            kind = OpKind.READ if match.group(1) == "R" else OpKind.WRITE
+            ops.append(Operation(kind, int(match.group(2)), match.group(3)))
+            pos = match.end()
+        if pos != len(stripped):
+            raise ValueError(f"unparseable log text at offset {pos}: {text!r}")
+        return cls(tuple(ops))
+
+    @classmethod
+    def from_serial(cls, transactions: Sequence[Transaction]) -> "Log":
+        """The serial log executing *transactions* one after another."""
+        ops: list[Operation] = []
+        for txn in transactions:
+            ops.extend(txn.operations)
+        return cls(tuple(ops))
+
+    def concat(self, other: "Log") -> "Log":
+        """Concatenation ``L1 . L2`` as used for the composite logs of
+        Fig. 4 (e.g. ``L5 = L4 . L6``).
+
+        The paper concatenates logs over disjoint transaction sets; we
+        enforce that the transaction identifiers are disjoint (rename with
+        :meth:`renumbered` first if needed).
+        """
+        overlap = self.txn_ids & other.txn_ids
+        if overlap:
+            raise ValueError(
+                f"cannot concatenate logs sharing transactions {sorted(overlap)}"
+            )
+        return Log(self.operations + other.operations)
+
+    def renumbered(self, mapping: Mapping[int, int]) -> "Log":
+        """Return a copy with transaction ids (and nothing else) renamed."""
+        return Log(
+            tuple(
+                Operation(op.kind, mapping.get(op.txn, op.txn), op.item)
+                for op in self.operations
+            )
+        )
+
+    def relabeled_items(self, mapping: Mapping[str, str]) -> "Log":
+        """Return a copy with item names renamed."""
+        return Log(
+            tuple(
+                Operation(op.kind, op.txn, mapping.get(op.item, op.item))
+                for op in self.operations
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # The quintuple components
+    # ------------------------------------------------------------------
+    @cached_property
+    def items(self) -> frozenset[str]:
+        """``D``: the database item set touched by the log."""
+        return frozenset(op.item for op in self.operations)
+
+    @cached_property
+    def txn_ids(self) -> frozenset[int]:
+        """Identifiers of the transactions appearing in the log."""
+        return frozenset(op.txn for op in self.operations)
+
+    @cached_property
+    def transactions(self) -> dict[int, Transaction]:
+        """``T``: transactions reconstructed from the log, in program order."""
+        programs: dict[int, list[Operation]] = {}
+        for op in self.operations:
+            programs.setdefault(op.txn, []).append(op)
+        return {
+            txn_id: Transaction(txn_id, tuple(ops))
+            for txn_id, ops in programs.items()
+        }
+
+    def position(self, op: Operation) -> int:
+        """``pi``: the 1-based sequence number of *op* in the log.
+
+        If an identical operation appears several times the first position is
+        returned; the protocols themselves iterate the sequence directly and
+        never need to disambiguate duplicates.
+        """
+        return self.operations.index(op) + 1
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @cached_property
+    def max_ops_per_txn(self) -> int:
+        """``q``: the maximum number of operations in a single transaction."""
+        if not self.operations:
+            return 0
+        return max(t.num_operations for t in self.transactions.values())
+
+    def is_two_step(self) -> bool:
+        """True iff every transaction follows the two-step model."""
+        return all(t.is_two_step() for t in self.transactions.values())
+
+    def is_serial(self) -> bool:
+        """True iff transactions do not interleave at all."""
+        seen: list[int] = []
+        for op in self.operations:
+            if not seen or seen[-1] != op.txn:
+                if op.txn in seen:
+                    return False
+                seen.append(op.txn)
+        return True
+
+    def prefix(self, length: int) -> "Log":
+        """The log consisting of the first *length* operations."""
+        return Log(self.operations[:length])
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self.operations)
+
+
+def serial_permutations(log: Log) -> Iterable[tuple[int, ...]]:
+    """All total orders of the log's transactions (helper for brute-force
+    serializability tests on small logs)."""
+    import itertools
+
+    return itertools.permutations(sorted(log.txn_ids))

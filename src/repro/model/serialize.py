@@ -1,0 +1,75 @@
+"""JSON import/export for logs, decisions, and run results.
+
+A reproduction library gets driven by external tooling — workload
+archives, experiment notebooks, CI artifacts — so the model objects need a
+stable wire format.  Logs round-trip through either the paper's compact
+string notation (``"W1[x] R2[x]"``) or a structured JSON form; run
+results export one-way (they reference live scheduler state).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.protocol import RunResult
+from .log import Log
+from .operations import Operation, OpKind
+
+
+def log_to_dict(log: Log) -> dict[str, Any]:
+    """Structured form: one object per operation plus summary fields."""
+    return {
+        "notation": str(log),
+        "operations": [
+            {"kind": op.kind.value, "txn": op.txn, "item": op.item}
+            for op in log
+        ],
+        "transactions": sorted(log.txn_ids),
+        "items": sorted(log.items),
+    }
+
+
+def log_from_dict(payload: dict[str, Any]) -> Log:
+    """Inverse of :func:`log_to_dict`; also accepts a bare ``notation``."""
+    if "operations" in payload:
+        ops = tuple(
+            Operation(OpKind(entry["kind"]), entry["txn"], entry["item"])
+            for entry in payload["operations"]
+        )
+        return Log(ops)
+    return Log.parse(payload["notation"])
+
+
+def log_to_json(log: Log, **dumps_kwargs: Any) -> str:
+    return json.dumps(log_to_dict(log), **dumps_kwargs)
+
+
+def log_from_json(text: str) -> Log:
+    return log_from_dict(json.loads(text))
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    """Exportable record of a replay: decisions, aborts, trace."""
+    return {
+        "log": str(result.log),
+        "accepted": result.accepted,
+        "aborted": sorted(result.aborted),
+        "ignored_writes": result.ignored_writes,
+        "decisions": [
+            {
+                "op": str(decision.op),
+                "status": decision.status.value,
+                "reason": decision.reason,
+            }
+            for decision in result.decisions
+        ],
+        "trace": [
+            {str(txn): list(vector) for txn, vector in snapshot.items()}
+            for snapshot in result.trace
+        ],
+    }
+
+
+def run_result_to_json(result: RunResult, **dumps_kwargs: Any) -> str:
+    return json.dumps(run_result_to_dict(result), **dumps_kwargs)

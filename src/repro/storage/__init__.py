@@ -1,0 +1,5 @@
+"""Storage substrate: lock manager, versioned store, undo log."""
+
+from .locks import LockManager, LockMode, LockOutcome
+
+__all__ = ["LockManager", "LockMode", "LockOutcome"]

@@ -1,0 +1,65 @@
+"""A minimal in-memory single-version database.
+
+The substrate the schedulers drive: a flat item -> value store with access
+statistics.  Transactional behaviour (undo, versions) lives in
+:mod:`repro.storage.wal` and :mod:`repro.storage.versioned`; this class is
+deliberately dumb so every concurrency decision is the scheduler's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+
+class Database:
+    """Flat key-value store with read/write counters."""
+
+    def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
+        self._data: dict[str, Any] = dict(initial or {})
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, item: str, default: Any = 0) -> Any:
+        """Read an item; unwritten items hold *default* (the virtual
+        ``T_0`` wrote every item before time began)."""
+        self.reads += 1
+        return self._data.get(item, default)
+
+    def peek(self, item: str, default: Any = None) -> Any:
+        """Read without touching the workload statistics (used by the undo
+        log's dirty-overwrite check)."""
+        return self._data.get(item, default)
+
+    def write(self, item: str, value: Any) -> Any:
+        """Write an item, returning the previous value (for undo logs)."""
+        self.writes += 1
+        previous = self._data.get(item)
+        self._data[item] = value
+        return previous
+
+    def restore(self, item: str, value: Any) -> None:
+        """Undo helper: put back a previous value (``None`` removes —
+        the item had never been written)."""
+        if value is None:
+            self._data.pop(item, None)
+        else:
+            self._data[item] = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self._data)
+
+    def items(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._data
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._data == other._data
+        if isinstance(other, dict):
+            return self._data == other
+        return NotImplemented

@@ -1,0 +1,127 @@
+"""A shared/exclusive lock manager with FIFO wait queues.
+
+Used by two parts of the reproduction:
+
+* the **2PL baseline scheduler** (:mod:`repro.engine.two_pl_scheduler`),
+  which locks database items; and
+* the **DMT(k) simulation** (Section V-B), where every operation implies
+  short locks on timestamp vectors and on an item's ``RT``/``WT`` record,
+  acquired in a predefined linear order to prevent deadlock.
+
+Lock identifiers are arbitrary hashables.  The manager is deliberately
+simple — single-threaded simulation semantics: ``acquire`` either grants
+immediately or enqueues the requester and reports ``WAIT``; ``release``
+promotes waiters FIFO (granting a block of compatible readers at once).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+class LockOutcome(enum.Enum):
+    GRANTED = "granted"
+    WAIT = "wait"
+    ALREADY_HELD = "already-held"
+
+
+@dataclass
+class _LockState:
+    holders: dict[Hashable, LockMode] = field(default_factory=dict)
+    queue: list[tuple[Hashable, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """FIFO shared/exclusive lock table."""
+
+    def __init__(self) -> None:
+        self._locks: dict[Hashable, _LockState] = {}
+        self.stats = {"grants": 0, "waits": 0, "upgrades": 0}
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, obj: Hashable, owner: Hashable, mode: LockMode
+    ) -> LockOutcome:
+        """Request a lock; returns GRANTED, WAIT (enqueued), or
+        ALREADY_HELD (in a sufficient mode)."""
+        state = self._locks.setdefault(obj, _LockState())
+        held = state.holders.get(owner)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                return LockOutcome.ALREADY_HELD
+            # Upgrade S -> X: legal only when the owner is the sole holder
+            # and nobody queues ahead.
+            if len(state.holders) == 1 and not state.queue:
+                state.holders[owner] = LockMode.EXCLUSIVE
+                self.stats["upgrades"] += 1
+                return LockOutcome.GRANTED
+            state.queue.append((owner, mode))
+            self.stats["waits"] += 1
+            return LockOutcome.WAIT
+        if not state.queue and all(
+            mode.compatible(m) for m in state.holders.values()
+        ):
+            state.holders[owner] = mode
+            self.stats["grants"] += 1
+            return LockOutcome.GRANTED
+        state.queue.append((owner, mode))
+        self.stats["waits"] += 1
+        return LockOutcome.WAIT
+
+    def release(self, obj: Hashable, owner: Hashable) -> list[Hashable]:
+        """Release *owner*'s lock on *obj*; returns owners granted by the
+        promotion pass (in grant order)."""
+        state = self._locks.get(obj)
+        if state is None or owner not in state.holders:
+            raise KeyError(f"{owner!r} holds no lock on {obj!r}")
+        del state.holders[owner]
+        granted: list[Hashable] = []
+        while state.queue:
+            waiter, mode = state.queue[0]
+            current_mode = state.holders.get(waiter)
+            if current_mode is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+                if len(state.holders) != 1:
+                    break
+            elif state.holders and not all(
+                mode.compatible(m) for m in state.holders.values()
+            ):
+                break
+            state.queue.pop(0)
+            state.holders[waiter] = mode
+            granted.append(waiter)
+            self.stats["grants"] += 1
+        if not state.holders and not state.queue:
+            del self._locks[obj]
+        return granted
+
+    def release_all(self, owner: Hashable) -> list[Hashable]:
+        """Release everything *owner* holds (end of transaction)."""
+        granted: list[Hashable] = []
+        for obj in [o for o, s in self._locks.items() if owner in s.holders]:
+            granted.extend(self.release(obj, owner))
+        return granted
+
+    # ------------------------------------------------------------------
+    def holders(self, obj: Hashable) -> dict[Hashable, LockMode]:
+        state = self._locks.get(obj)
+        return dict(state.holders) if state else {}
+
+    def held_by(self, owner: Hashable) -> list[Hashable]:
+        return [o for o, s in self._locks.items() if owner in s.holders]
+
+    def waiting(self, obj: Hashable) -> list[tuple[Hashable, LockMode]]:
+        state = self._locks.get(obj)
+        return list(state.queue) if state else []
+
+    def is_idle(self) -> bool:
+        return not self._locks

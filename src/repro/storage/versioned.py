@@ -1,0 +1,109 @@
+"""Multiversion storage keyed by timestamp vectors (Reed extension).
+
+Implementation note III-D-6d: Reed's multiversion mechanism, built for
+single-valued timestamps, "can be extended to timestamp vectors".  This
+module is that extension: every write creates a new version tagged with the
+writer's *current vector snapshot*; a reader receives the latest version
+whose writer is ordered **before** the reader (per the Definition 6 order of
+the snapshots), defaulting to the initial version written by the virtual
+``T_0``.
+
+Because vectors fill in over time, version tags are snapshots taken at
+write time plus the writer id; :meth:`refresh` re-snapshots tags from a
+live table before a read, so the chosen version reflects all encodings made
+since the write — this mirrors keeping the version order consistent with
+the (monotonically refined) serialization order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.table import VIRTUAL_TXN
+from ..core.timestamp import Element, Ordering, TimestampVector, compare
+
+
+@dataclass
+class Version:
+    writer: int
+    tag: tuple[Element, ...]
+    value: Any
+
+
+class MultiversionStore:
+    """Versioned item store ordered by timestamp vectors."""
+
+    def __init__(
+        self,
+        k: int,
+        vector_of: Callable[[int], TimestampVector],
+        initial: dict[str, Any] | None = None,
+    ) -> None:
+        self.k = k
+        self._vector_of = vector_of
+        virtual_tag = tuple([0] + [None] * (k - 1))
+        self._versions: dict[str, list[Version]] = {}
+        self._initial: dict[str, Any] = dict(initial or {})
+        self._virtual_tag = virtual_tag
+
+    # ------------------------------------------------------------------
+    def write(self, item: str, txn: int, value: Any) -> Version:
+        """Append a new version tagged with the writer's current vector."""
+        tag = self._vector_of(txn).snapshot()
+        version = Version(txn, tag, value)
+        self._versions.setdefault(item, []).append(version)
+        return version
+
+    def read(self, item: str, txn: int, default: Any = 0) -> Any:
+        """The latest version ordered before the reader's vector.
+
+        "Latest" is the maximal version tag strictly less than the
+        reader's vector; ties (incomparable tags) fall back to append
+        order, matching the arrival order of accepted writes.
+        """
+        self.refresh(item)
+        reader = self._vector_of(txn)
+        best: Version | None = None
+        for version in self._versions.get(item, ()):
+            if version.writer == txn:
+                # A transaction always sees its own writes.
+                best = version
+                continue
+            tag_vec = TimestampVector(self.k, version.tag)
+            if compare(tag_vec, reader).ordering is Ordering.LESS:
+                if best is None or self._newer(version, best):
+                    best = version
+        if best is None:
+            return self._initial.get(item, default)
+        return best.value
+
+    def _newer(self, a: Version, b: Version) -> bool:
+        ta = TimestampVector(self.k, a.tag)
+        tb = TimestampVector(self.k, b.tag)
+        ordering = compare(tb, ta).ordering
+        if ordering is Ordering.LESS:
+            return True
+        if ordering is Ordering.GREATER:
+            return False
+        # Incomparable: later-appended wins (append order == accept order).
+        return True
+
+    def refresh(self, item: str) -> None:
+        """Re-snapshot version tags from the live vectors (writers' vectors
+        gain elements as new dependencies are encoded)."""
+        for version in self._versions.get(item, ()):
+            if version.writer != VIRTUAL_TXN:
+                version.tag = self._vector_of(version.writer).snapshot()
+
+    def prune_aborted(self, txn: int) -> int:
+        """Drop an aborted transaction's versions (VI-C 2c: cheap pruning)."""
+        removed = 0
+        for item, versions in self._versions.items():
+            before = len(versions)
+            versions[:] = [v for v in versions if v.writer != txn]
+            removed += before - len(versions)
+        return removed
+
+    def versions_of(self, item: str) -> list[Version]:
+        return list(self._versions.get(item, ()))

@@ -1,0 +1,34 @@
+"""Workload generators: presets, hotspot, and grouped/nested workloads."""
+
+from .synthetic import PRESETS, logs, preset, sample
+from .hotspot import (
+    HotspotSpec,
+    generate as generate_hotspot,
+    hot_item_names,
+    hotspot_log,
+    hotspot_logs,
+)
+from .nested_wl import (
+    TABLE_IV_TYPES,
+    TransactionType,
+    sited_groups,
+    typed_transactions,
+    typed_workload,
+)
+
+__all__ = [
+    "PRESETS",
+    "preset",
+    "logs",
+    "sample",
+    "HotspotSpec",
+    "generate_hotspot",
+    "hot_item_names",
+    "hotspot_log",
+    "hotspot_logs",
+    "TransactionType",
+    "TABLE_IV_TYPES",
+    "typed_transactions",
+    "typed_workload",
+    "sited_groups",
+]

@@ -1,0 +1,75 @@
+"""Grouped/nested transaction workloads (Section V-A, Examples 5-6).
+
+Two partition regimes:
+
+* **typed** — transactions come in a few *types*, each with a fixed
+  read/write-set shape (Example 6 / Table IV: the read/write sets define
+  the groups);
+* **sited** — transactions belong to the site that initiated them
+  (Example 5), paired with the DMT(k) experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..model.generator import interleave
+from ..model.log import Log
+from ..model.operations import Transaction, two_step
+
+
+@dataclass(frozen=True)
+class TransactionType:
+    """A transaction type: a fixed read set and write set (Table IV row)."""
+
+    name: str
+    read_set: tuple[str, ...]
+    write_set: tuple[str, ...]
+
+
+#: The two types of Example 6 / Table IV.
+TABLE_IV_TYPES: tuple[TransactionType, ...] = (
+    TransactionType("G1", read_set=("x", "z"), write_set=("y", "z")),
+    TransactionType("G2", read_set=("y", "w"), write_set=("x", "w")),
+)
+
+
+def typed_transactions(
+    types: Sequence[TransactionType],
+    count: int,
+    rng: random.Random,
+) -> tuple[list[Transaction], dict[int, int]]:
+    """Sample *count* transactions from *types*; returns the transactions
+    and the group assignment (type index + 1, matching Table IV)."""
+    transactions: list[Transaction] = []
+    groups: dict[int, int] = {}
+    for txn_id in range(1, count + 1):
+        index = rng.randrange(len(types))
+        ttype = types[index]
+        transactions.append(
+            two_step(txn_id, ttype.read_set, ttype.write_set)
+        )
+        groups[txn_id] = index + 1
+    return transactions, groups
+
+
+def typed_workload(
+    count: int = 6,
+    seed: int = 0,
+    types: Sequence[TransactionType] = TABLE_IV_TYPES,
+) -> tuple[Log, dict[int, int]]:
+    """A Table IV workload: interleaved typed transactions + groups."""
+    rng = random.Random(seed)
+    transactions, groups = typed_transactions(types, count, rng)
+    return interleave(transactions, rng), groups
+
+
+def sited_groups(num_txns: int, num_sites: int, seed: int = 0) -> dict[int, int]:
+    """Example 5: assign each transaction a home site; groups are sites
+    (shifted by one, since group 0 is the virtual group)."""
+    rng = random.Random(seed)
+    return {
+        txn: rng.randrange(num_sites) + 1 for txn in range(1, num_txns + 1)
+    }

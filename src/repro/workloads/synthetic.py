@@ -1,0 +1,61 @@
+"""Named workload presets used across benches and examples.
+
+The paper has no measured workloads; these presets encode the regimes its
+discussion distinguishes:
+
+* ``multiprogramming`` — 8-10 concurrently active transactions, the level
+  the implementation notes (III-D-6a, citing [6]) assume;
+* ``low_conflict`` / ``high_conflict`` — the conflict-volume axis of the
+  vector-size guidelines (VI-B a);
+* ``long_lived`` — many operations per transaction (VI-B c), where locking
+  schemes suffer from long lock holds;
+* ``two_step`` — the analysis model of Section II.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..model.generator import WorkloadSpec, random_log, random_logs
+from ..model.log import Log
+
+PRESETS: dict[str, WorkloadSpec] = {
+    "multiprogramming": WorkloadSpec(
+        num_txns=9, ops_per_txn=4, num_items=32, write_ratio=0.35
+    ),
+    "low_conflict": WorkloadSpec(
+        num_txns=8, ops_per_txn=3, num_items=128, write_ratio=0.25
+    ),
+    "high_conflict": WorkloadSpec(
+        num_txns=8, ops_per_txn=4, num_items=6, write_ratio=0.5
+    ),
+    "long_lived": WorkloadSpec(
+        num_txns=6, ops_per_txn=12, num_items=48, write_ratio=0.3,
+        vary_length=True,
+    ),
+    "two_step": WorkloadSpec(
+        num_txns=6, ops_per_txn=4, num_items=12, write_ratio=0.5,
+        two_step_model=True,
+    ),
+}
+
+
+def preset(name: str) -> WorkloadSpec:
+    """Look up a preset by name (raises ``KeyError`` with the options)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+
+
+def logs(name: str, count: int, seed: int = 0) -> Iterator[Log]:
+    """A reproducible stream of logs from a preset."""
+    return random_logs(preset(name), count, seed=seed)
+
+
+def sample(name: str, seed: int = 0) -> Log:
+    """One log from a preset."""
+    return random_log(preset(name), random.Random(seed))

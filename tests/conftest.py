@@ -1,0 +1,98 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.generator import WorkloadSpec, random_log
+from repro.model.log import Log
+from repro.model.operations import Operation, OpKind
+
+
+# ----------------------------------------------------------------------
+# Canonical paper logs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def example1_log() -> Log:
+    """Example 1 / Fig. 1: accepted by MT(2), rejected by conventional TO."""
+    return Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+
+
+@pytest.fixture
+def example2_log() -> Log:
+    """Example 2 / Fig. 3 / Table I."""
+    return Log.parse("R1[x] R2[y] R3[z] W1[y] W1[z]")
+
+
+@pytest.fixture
+def starvation_log() -> Log:
+    """Fig. 5: T3 starves without the remedy."""
+    return Log.parse("W1[x] W2[x] R3[y] W3[x]")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+ITEMS = ("a", "b", "c")
+
+
+@st.composite
+def small_logs(
+    draw,
+    max_txns: int = 4,
+    max_ops: int = 4,
+    items: tuple[str, ...] = ITEMS,
+) -> Log:
+    """Random small multi-step logs (program order is the draw order —
+    every sequence of operations is a valid interleaving of the per-
+    transaction subsequences)."""
+    num_txns = draw(st.integers(min_value=1, max_value=max_txns))
+    length = draw(st.integers(min_value=1, max_value=max_txns * max_ops))
+    ops = []
+    counts = {t: 0 for t in range(1, num_txns + 1)}
+    for _ in range(length):
+        candidates = [t for t, c in counts.items() if c < max_ops]
+        if not candidates:
+            break
+        txn = draw(st.sampled_from(candidates))
+        counts[txn] += 1
+        kind = draw(st.sampled_from([OpKind.READ, OpKind.WRITE]))
+        item = draw(st.sampled_from(list(items)))
+        ops.append(Operation(kind, txn, item))
+    return Log(tuple(ops))
+
+
+@st.composite
+def two_step_logs(draw, max_txns: int = 3) -> Log:
+    """Random interleavings of single-read/single-write transactions (the
+    analysis model used by the Fig. 4 hierarchy)."""
+    from repro.model.operations import two_step
+    from repro.model.generator import all_interleavings
+
+    num_txns = draw(st.integers(min_value=1, max_value=max_txns))
+    transactions = []
+    for txn_id in range(1, num_txns + 1):
+        r = draw(st.sampled_from(list(ITEMS)))
+        w = draw(st.sampled_from(list(ITEMS)))
+        transactions.append(two_step(txn_id, [r], [w]))
+    interleavings = list(all_interleavings(transactions))
+    return draw(st.sampled_from(interleavings))
+
+
+@pytest.fixture
+def random_stream():
+    """Factory for reproducible random log streams."""
+
+    def factory(count: int, seed: int = 0, **spec_kwargs) -> list[Log]:
+        defaults = dict(
+            num_txns=4, ops_per_txn=3, num_items=4, write_ratio=0.5
+        )
+        defaults.update(spec_kwargs)
+        spec = WorkloadSpec(**defaults)
+        rng = random.Random(seed)
+        return [random_log(spec, rng) for _ in range(count)]
+
+    return factory

@@ -1,0 +1,100 @@
+"""Tests for the analysis harnesses (degree of concurrency, complexity)."""
+
+from repro.analysis.complexity import (
+    linearity_ratio,
+    measure_cost,
+    speedup_bound,
+    sweep,
+)
+from repro.analysis.concurrency import (
+    acceptance_by_dimension,
+    acceptance_table,
+    containment_matrix,
+)
+from repro.analysis.report import render_table, render_vector, render_vector_table
+from repro.core.composite import MTkStarScheduler
+from repro.core.mtk import MTkScheduler
+from repro.engine.to_scheduler import ConventionalTOScheduler
+from repro.model.generator import WorkloadSpec, random_logs
+
+
+def _stream(count=150, seed=0):
+    spec = WorkloadSpec(num_txns=4, ops_per_txn=3, num_items=4)
+    return list(random_logs(spec, count, seed=seed))
+
+
+class TestConcurrencyHarness:
+    def test_acceptance_table_rates(self):
+        logs = _stream()
+        rows = acceptance_table([MTkScheduler(3), MTkScheduler(1)], logs)
+        assert all(row.total == len(logs) for row in rows)
+        assert all(0.0 <= row.rate <= 1.0 for row in rows)
+
+    def test_composite_observed_superset_of_subprotocols(self):
+        logs = _stream()
+        star = MTkStarScheduler(3)
+        subs = [MTkScheduler(k, read_rule="none") for k in (1, 2, 3)]
+        matrix = containment_matrix([star, *subs], logs)
+        for sub in subs:
+            assert matrix[(sub.name, star.name)]  # sub subset-of star
+
+    def test_mt1_observed_subset_of_conventional_to(self):
+        """Definition 3 adds the read-read condition iv), making TO(1)
+        *more* restrictive than conventional scalar TO (which only orders
+        conflicts): every MT(1)-accepted log passes the scalar scheduler."""
+        logs = _stream(count=400, seed=3)
+        matrix = containment_matrix(
+            [MTkScheduler(1), ConventionalTOScheduler()], logs
+        )
+        assert matrix[("MT(1)", "TO(scalar)")]
+        # And the containment is strict on this stream.
+        assert not matrix[("TO(scalar)", "MT(1)")]
+
+    def test_acceptance_by_dimension_saturates(self):
+        spec = WorkloadSpec(
+            num_txns=3, ops_per_txn=2, num_items=3, two_step_model=True
+        )
+        logs = list(random_logs(spec, 200, seed=1))
+        counts = acceptance_by_dimension(logs, max_k=6)
+        # Theorem 3 with q = 2: TO(3) = TO(4) = TO(5) = TO(6).
+        assert counts[3] == counts[4] == counts[5] == counts[6]
+
+
+class TestComplexityHarness:
+    def test_cost_linear_in_n(self):
+        samples = [measure_cost(n, 3, 2, seed=1) for n in (4, 8, 16)]
+        per_op = [s.visits_per_op for s in samples]
+        # Cost per operation stays flat as n grows (linear total cost).
+        assert max(per_op) / min(per_op) < 1.6
+
+    def test_sweep_and_linearity(self):
+        samples = sweep(ns=[4, 8], qs=[2, 4], ks=[2])
+        assert len(samples) == 3
+        assert linearity_ratio(samples) < 2.0
+
+    def test_speedup_grows_with_k(self):
+        assert speedup_bound(10, 64) > speedup_bound(10, 8) > 1.0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_vector(self):
+        assert render_vector((1, None, 3)) == "<1,*,3>"
+
+    def test_render_vector_table_blanks_unchanged(self):
+        snapshots = [
+            ("e1", {1: (1, None), 2: (None, None)}),
+            ("e2", {1: (1, None), 2: (2, None)}),
+        ]
+        out = render_vector_table(snapshots, txns=[1, 2])
+        lines = out.splitlines()
+        assert "<1,*>" in lines[2]
+        # Unchanged TS(1) is blank in the second row.
+        assert "<1,*>" not in lines[3]
+        assert "<2,*>" in lines[3]

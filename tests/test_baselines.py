@@ -1,0 +1,206 @@
+"""Tests for the baseline schedulers: 2PL, conventional TO, optimistic,
+and the Bayer-style interval method (Section VI-A)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.classes.membership import is_dsr
+from repro.classes.two_pl import is_two_pl
+from repro.engine.interval import Interval, IntervalScheduler
+from repro.engine.optimistic import OptimisticScheduler
+from repro.engine.to_scheduler import ConventionalTOScheduler
+from repro.engine.two_pl_scheduler import StrictTwoPLScheduler
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+class TestConventionalTO:
+    def test_rejects_example1(self, example1_log):
+        """The introduction's motivating claim: conventional TO aborts T3
+        on Example 1 while MT(2) accepts it."""
+        scheduler = ConventionalTOScheduler()
+        result = scheduler.run(example1_log)
+        assert result.aborted == {3}
+
+    def test_accepts_timestamp_ordered_log(self):
+        assert ConventionalTOScheduler().accepts(
+            Log.parse("R1[x] W1[x] R2[x] W2[x]")
+        )
+
+    def test_thomas_rule_ignores_obsolete_write(self):
+        scheduler = ConventionalTOScheduler(thomas_write_rule=True)
+        # T1 then T2 write x; late T1 write of x is obsolete, not fatal.
+        log = Log.parse("R1[y] R2[y] W2[x] W1[x]")
+        result = scheduler.run(log)
+        assert result.accepted
+        assert result.ignored_writes == 1
+
+    def test_restart_assigns_fresh_timestamp(self, example1_log):
+        scheduler = ConventionalTOScheduler()
+        scheduler.run(example1_log)
+        scheduler.restart(3)
+        from repro.model.operations import read
+
+        assert scheduler.process(read(3, "x")).accepted
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_sound(self, log):
+        if ConventionalTOScheduler().accepts(log):
+            assert is_dsr(log)
+
+
+class TestStrictTwoPL:
+    def test_accepts_serial(self):
+        assert StrictTwoPLScheduler().accepts(
+            Log.parse("R1[x] W1[x] R2[x] W2[x]")
+        )
+
+    def test_rejects_conflicting_interleaving(self):
+        # T2 needs T1's exclusive lock before T1 finishes.
+        assert not StrictTwoPLScheduler().accepts(
+            Log.parse("W1[x] R2[x] W1[y]")
+        )
+
+    def test_shared_locks_allow_concurrent_readers(self):
+        assert StrictTwoPLScheduler().accepts(Log.parse("R1[x] R2[x] W1[y] W2[z]"))
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_strict_subset_of_two_pl_class(self, log):
+        """The online strict scheduler accepts only 2PL-class logs (the
+        class tester may accept more — it places lock points with future
+        knowledge)."""
+        if StrictTwoPLScheduler().accepts(log):
+            assert is_two_pl(log)
+            assert is_dsr(log)
+
+
+class TestOptimistic:
+    def test_read_only_transactions_always_valid(self):
+        assert OptimisticScheduler().accepts(Log.parse("R1[x] R2[x] R1[y] R2[y]"))
+
+    def test_concurrent_conflicting_writers_abort(self):
+        log = Log.parse("R1[x] R2[x] W1[x] W2[x]")
+        result = OptimisticScheduler().run(log)
+        assert not result.accepted
+
+    def test_validation_is_against_concurrent_commits_only(self):
+        # T2 starts after T1 committed: no validation conflict.
+        assert OptimisticScheduler().accepts(Log.parse("R1[x] W1[x] R2[x] W2[x]"))
+
+    @staticmethod
+    def _deferred_form(log):
+        """The log as an optimistic system executes it: every write is
+        deferred to its transaction's commit (= last-operation) point."""
+        from repro.model.log import Log as _Log
+
+        last_position = {}
+        for position, op in enumerate(log):
+            last_position[op.txn] = position
+        ops = []
+        buffered = {}
+        for position, op in enumerate(log):
+            if op.kind.is_write:
+                buffered.setdefault(op.txn, []).append(op)
+            else:
+                ops.append(op)
+            if position == last_position[op.txn]:
+                ops.extend(buffered.pop(op.txn, ()))
+        return _Log(tuple(ops))
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_sound_under_deferred_writes(self, log):
+        """Optimistic execution defers writes to commit; acceptance means
+        the *deferred-write form* of the log is serializable."""
+        if OptimisticScheduler().accepts(log):
+            assert is_dsr(self._deferred_form(log))
+
+
+class TestIntervalScheduler:
+    def test_accepts_simple_chain(self):
+        assert IntervalScheduler().accepts(Log.parse("W1[x] R2[x] W3[y]"))
+
+    def test_accepts_fig5_log_where_mt_aborts(self, starvation_log):
+        """Intervals place new transactions over the whole range, so the
+        Fig. 5 log (serializable as T1 T2 T3) is accepted — MT(3) aborts
+        it.  The comparison cuts both ways; Section VI-A's criticisms are
+        about fragmentation and restart behaviour, tested below."""
+        assert IntervalScheduler().accepts(starvation_log)
+
+    def test_rejects_contradictory_order(self):
+        # A dependency cycle: T1 -> T2 on x, then T2 -> T1 on y.  The
+        # second dependency finds the intervals already disjoint the wrong
+        # way around.
+        scheduler = IntervalScheduler()
+        result = scheduler.run(Log.parse("R1[x] W2[x] R2[y] W1[y]"))
+        assert 1 in result.aborted
+        assert scheduler.stats["order_aborts"] >= 1
+
+    def test_fragmentation_aborts_on_tiny_grid(self):
+        """Criticism 3 of Section VI-A: with a finite grid, repeated
+        splitting runs out of interior points and aborts transactions whose
+        order was semantically fine."""
+        scheduler = IntervalScheduler(resolution=8)
+        # A chain of dependencies splits one interval repeatedly.
+        ops = []
+        ops.append("W1[x]")
+        for txn in range(2, 9):
+            ops.append(f"R{txn}[x]")
+            ops.append(f"W{txn}[x]")
+        log = Log.parse(" ".join(ops))
+        scheduler.run(log, stop_on_reject=True)
+        total_aborts = scheduler.stats["fragmentation_aborts"]
+        big = IntervalScheduler(resolution=2**20)
+        big_result = big.run(log)
+        # The same log is clean with a big grid (it is a serial chain).
+        assert big_result.accepted
+        assert total_aborts >= 1
+
+    def test_starvation_on_restart_with_fixed_interval(self):
+        """Criticism 4: an aborted transaction restarts with the same full
+        interval, so when its blocker sits at the top of the grid it aborts
+        again, forever — MT(k)'s re-seeding remedy has no analogue."""
+        from repro.model.operations import read, write
+
+        scheduler = IntervalScheduler(resolution=8)
+        # Chain writers of x until WT(x)'s interval is pushed to the top
+        # sliver of the grid.
+        ops = [write(1, "x")]
+        for txn in range(2, 8):
+            ops += [read(txn, "x"), write(txn, "x")]
+        victim = None
+        for op in ops:
+            if op.txn in scheduler.aborted:
+                continue
+            decision = scheduler.process(op)
+            if not decision.accepted and victim is None:
+                victim = op
+        assert victim is not None  # fragmentation claimed somebody
+        # Restart the victim: same full interval, same top-of-grid blocker,
+        # same abort — starvation.
+        scheduler.restart(victim.txn)
+        assert not scheduler.process(victim).accepted
+        scheduler.restart(victim.txn)
+        assert not scheduler.process(victim).accepted
+
+    def test_split_policies_validated(self):
+        with pytest.raises(ValueError):
+            IntervalScheduler(split="bogus")
+        with pytest.raises(ValueError):
+            IntervalScheduler(resolution=2)
+
+    def test_interval_helpers(self):
+        a, b = Interval(0, 5), Interval(5, 9)
+        assert a.disjoint_below(b)
+        assert not a.overlaps(b)
+        assert Interval(0, 6).overlaps(Interval(5, 9))
+        assert Interval(2, 6).width == 4
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_sound(self, log):
+        for split in ("midpoint", "edge"):
+            if IntervalScheduler(split=split).accepts(log):
+                assert is_dsr(log)

@@ -1,0 +1,80 @@
+"""Tests for the Definition 2-5 serializability-number certificates."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.certificate import (
+    CertificateError,
+    serializability_numbers,
+    verify_certificate,
+    verify_definition5_ranges,
+)
+from repro.core.mtk import MTkScheduler
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+class TestConstruction:
+    def test_example2_certificate(self, example2_log):
+        scheduler = MTkScheduler(2)
+        assert scheduler.accepts(example2_log)
+        numbers = serializability_numbers(scheduler)
+        # All first elements are 1: every s lies in (0, 1), ordered
+        # T3 < T2 < T1 (or T2 < T3 < T1) per Table I.
+        assert set(numbers) == {1, 2, 3}
+        assert all(0 < s < 1 for s in numbers.values())
+        assert numbers[2] < numbers[1] and numbers[3] < numbers[1]
+        assert verify_certificate(example2_log, numbers)
+        assert verify_definition5_ranges(scheduler, numbers)
+
+    def test_aborted_runs_cannot_certify(self, starvation_log):
+        scheduler = MTkScheduler(2)
+        scheduler.run(starvation_log)
+        with pytest.raises(CertificateError):
+            serializability_numbers(scheduler)
+
+    def test_distinct_numbers(self, example1_log):
+        scheduler = MTkScheduler(2)
+        scheduler.accepts(example1_log)
+        numbers = serializability_numbers(scheduler)
+        assert len(set(numbers.values())) == len(numbers)
+
+
+class TestDefinitionCompliance:
+    @given(small_logs())
+    @settings(max_examples=300)
+    def test_accepted_logs_certify(self, log):
+        """Definition 3/5 made operational: every log MT(k) accepts (with
+        lines 9-10 crossed out) admits numbers satisfying conditions
+        i)-v)."""
+        scheduler = MTkScheduler(3, read_rule="none")
+        if not scheduler.accepts(log):
+            return
+        numbers = serializability_numbers(scheduler)
+        assert verify_certificate(log, numbers, check_read_read=True)
+        assert verify_definition5_ranges(scheduler, numbers)
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_line9_accepted_logs_certify_conflicts(self, log):
+        """With the line-9 fallback, condition iv (read-read order) can be
+        waived for bypassed reads, but conflicts i)-iii) always certify."""
+        scheduler = MTkScheduler(3)
+        if not scheduler.accepts(log):
+            return
+        numbers = serializability_numbers(scheduler)
+        assert verify_certificate(log, numbers, check_read_read=False)
+        assert verify_definition5_ranges(scheduler, numbers)
+
+    def test_verify_rejects_wrong_numbers(self):
+        log = Log.parse("W1[x] R2[x]")
+        from fractions import Fraction
+
+        bad = {1: Fraction(3, 2), 2: Fraction(1, 2)}
+        assert not verify_certificate(log, bad)
+
+    def test_verify_rejects_missing_transactions(self):
+        log = Log.parse("W1[x] R2[x]")
+        from fractions import Fraction
+
+        assert not verify_certificate(log, {1: Fraction(1, 2)})

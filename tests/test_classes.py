@@ -1,0 +1,157 @@
+"""Tests for the serializability-class membership procedures."""
+
+from hypothesis import given, settings
+
+from repro.classes.membership import (
+    dsr_order,
+    final_writers,
+    is_dsr,
+    is_ssr,
+    is_view_equivalent,
+    is_view_serializable,
+    precedence_pairs,
+    reads_from,
+)
+from repro.classes.to import (
+    first_positions,
+    is_to1_declarative,
+    is_tok,
+    saturation_dimension,
+)
+from repro.classes.two_pl import is_two_pl
+from repro.model.log import Log
+from repro.model.operations import two_step
+from tests.conftest import small_logs, two_step_logs
+
+
+class TestDSR:
+    def test_example1_is_dsr(self, example1_log):
+        assert is_dsr(example1_log)
+        assert dsr_order(example1_log) == [1, 2, 3]
+
+    def test_lost_update_is_not_dsr(self):
+        assert not is_dsr(Log.parse("R1[x] R2[x] W1[x] W2[x]"))
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_serial_logs_always_dsr(self, log):
+        serial = Log.from_serial(
+            [log.transactions[t] for t in sorted(log.txn_ids)]
+        )
+        assert is_dsr(serial)
+
+
+class TestSSR:
+    def test_precedence_pairs(self):
+        log = Log.parse("R1[x] W1[x] R2[y] W2[y]")
+        assert (1, 2) in precedence_pairs(log)
+        assert (2, 1) not in precedence_pairs(log)
+
+    def test_to3_not_ssr_log(self):
+        """The canonical log showing TO(3) sticks out of SSR: T2 completes
+        before T3 starts, but serialization needs T3 before T1 before T2."""
+        log = Log.parse("R1[x] W2[x] R3[y] W1[y]")
+        assert is_dsr(log)
+        assert not is_ssr(log)
+        assert is_tok(log, 3)
+
+    def test_ssr_implies_dsr(self, random_stream):
+        for log in random_stream(200, seed=2):
+            if is_ssr(log):
+                assert is_dsr(log)
+
+
+class TestViewSerializability:
+    def test_reads_from_tracks_writers(self):
+        log = Log.parse("W1[x] R2[x] W3[x] R2[x]")
+        assert reads_from(log) == [(2, "x", 1), (2, "x", 3)]
+
+    def test_reads_from_initial(self):
+        assert reads_from(Log.parse("R1[x]")) == [(1, "x", 0)]
+
+    def test_final_writers(self):
+        log = Log.parse("W1[x] W2[x] W1[y]")
+        assert final_writers(log) == {"x": 2, "y": 1}
+
+    def test_blind_write_log_is_sr_not_dsr(self):
+        log = Log.parse("R1[x] W2[x] W1[x] W3[x]")
+        assert not is_dsr(log)
+        assert is_view_serializable(log)
+
+    def test_lost_update_not_sr(self):
+        assert not is_view_serializable(Log.parse("R1[x] R2[x] W1[x] W2[x]"))
+
+    def test_view_equivalence_requires_same_operations(self):
+        assert not is_view_equivalent(Log.parse("R1[x]"), Log.parse("W1[x]"))
+
+    @given(small_logs(max_txns=3, max_ops=2))
+    @settings(max_examples=150)
+    def test_dsr_implies_sr(self, log):
+        if is_dsr(log):
+            assert is_view_serializable(log)
+
+
+class TestTwoPL:
+    def test_serial_log_is_two_pl(self):
+        assert is_two_pl(Log.parse("R1[x] W1[x] R2[x] W2[x]"))
+
+    def test_example1_is_two_pl(self, example1_log):
+        assert is_two_pl(example1_log)
+
+    def test_interleaved_conflicting_accesses_rejected(self):
+        # T1 accesses x both before and after T2's write: no lock intervals
+        # can realize this order.
+        assert not is_two_pl(Log.parse("R1[x] W2[x] W1[x]"))
+
+    def test_lock_point_conflict_rejected(self):
+        # Region 5-style log: three readers of a then diverging writes
+        # force lock points no assignment satisfies.
+        log = Log.parse("R2[a] R3[a] R1[a] W1[a] W2[b] W3[b]")
+        assert not is_two_pl(log)
+
+    @given(two_step_logs())
+    @settings(max_examples=300)
+    def test_two_pl_implies_dsr_and_ssr(self, log):
+        if is_two_pl(log):
+            assert is_dsr(log)
+            assert is_ssr(log)
+
+    def test_empty_log(self):
+        assert is_two_pl(Log(()))
+
+
+class TestTOClasses:
+    def test_first_positions(self):
+        log = Log.parse("R2[x] R1[y] W2[x]")
+        assert first_positions(log) == {2: 1, 1: 2}
+
+    def test_example1_not_to1(self, example1_log):
+        """The paper's point: conventional single-valued timestamps lose
+        Example 1."""
+        assert not is_to1_declarative(example1_log)
+        assert not is_tok(example1_log, 1)
+        assert is_tok(example1_log, 2)
+
+    def test_starvation_log_is_to1_not_to3(self, starvation_log):
+        """Fig. 5's log lands in TO(1) - TO(3): the classes really are
+        incomparable (Section III-C)."""
+        assert is_tok(starvation_log, 1)
+        assert not is_tok(starvation_log, 3)
+
+    @given(two_step_logs())
+    @settings(max_examples=300)
+    def test_declarative_and_operational_to1_agree(self, log):
+        """On the single-read/single-write family, Definition 4 and MT(1)
+        recognize the same logs."""
+        assert is_to1_declarative(log) == is_tok(log, 1)
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_tok_implies_dsr(self, log):
+        for k in (1, 2, 3):
+            if is_tok(log, k):
+                assert is_dsr(log)
+
+    def test_saturation_dimension(self):
+        assert saturation_dimension(Log.parse("R1[x] W1[y]")) == 3
+        assert saturation_dimension(Log.parse("R1[x] R1[y] W1[z]")) == 5

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PROTOCOLS, main
+
+
+class TestClassify:
+    def test_classifies_example1(self, capsys):
+        assert main(["classify", "W1[x] W1[y] R3[x] R2[y] W3[y]"]) == 0
+        out = capsys.readouterr().out
+        assert "region 3" in out
+        assert "T1 T2 T3" in out
+
+    def test_non_serializable_log(self, capsys):
+        main(["classify", "R1[x] R2[x] W1[x] W2[x]"])
+        out = capsys.readouterr().out
+        assert "not serializable" in out
+
+
+class TestSchedule:
+    def test_mt2_accepts_example1(self, capsys):
+        code = main(
+            ["schedule", "W1[x] W1[y] R3[x] R2[y] W3[y]", "--protocol", "mt",
+             "--k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TS(2) = <2,1>" in out
+        assert "serialization order: T1 T2 T3" in out
+
+    def test_to_rejects_example1_with_exit_code(self, capsys):
+        code = main(
+            ["schedule", "W1[x] W1[y] R3[x] R2[y] W3[y]", "--protocol", "to"]
+        )
+        assert code == 1
+        assert "aborted: T3" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+    def test_every_protocol_handles_a_serial_log(self, protocol, capsys):
+        code = main(
+            ["schedule", "R1[x] W1[x] R2[x] W2[x]", "--protocol", protocol]
+        )
+        assert code == 0
+
+
+class TestCensus:
+    def test_limited_census_runs(self, capsys):
+        assert main(["census", "--txns", "2", "--limit", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "region" in out
+        assert "50 logs" in out
+
+
+class TestProtocols:
+    def test_lists_all(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in PROTOCOLS:
+            assert name in out

@@ -1,0 +1,86 @@
+"""Concatenation closure and the paper's composite-log constructions.
+
+Section III-C builds its Fig. 4 witnesses by concatenation:
+``L5 = L4 . L6``, ``L7 = L2 . L6``, ``L9 = L4 . L7`` — relying on the fact
+that, for logs over disjoint transactions *and items*, membership in each
+class distributes over concatenation (the proof steps i) and ii) in the
+paper).  These tests verify that fact property-style for every class, then
+replay the paper's own region-7 and region-9 constructions using census
+representatives.
+"""
+
+from hypothesis import given, settings
+
+from repro.classes.hierarchy import ClassMembership, classify, region_of
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+def _disjoint(a: Log, b: Log) -> tuple[Log, Log]:
+    """Rename b's transactions and items away from a's."""
+    txn_offset = max(a.txn_ids, default=0)
+    b = b.renumbered({t: t + txn_offset for t in b.txn_ids})
+    b = b.relabeled_items({item: f"{item}'" for item in b.items})
+    return a, b
+
+
+def _and(m1: ClassMembership, m2: ClassMembership) -> ClassMembership:
+    return ClassMembership(
+        *(x and y for x, y in zip(m1.as_tuple(), m2.as_tuple()))
+    )
+
+
+class TestClosure:
+    @given(small_logs(max_txns=2, max_ops=2), small_logs(max_txns=2, max_ops=2))
+    @settings(max_examples=120, deadline=None)
+    def test_membership_distributes_over_concatenation(self, a, b):
+        a, b = _disjoint(a, b)
+        combined = a.concat(b)
+        assert classify(combined) == _and(classify(a), classify(b))
+
+    @given(small_logs(max_txns=2, max_ops=2))
+    @settings(max_examples=80, deadline=None)
+    def test_concat_with_serial_is_neutral(self, log):
+        """Appending an independent serial transaction (in every class)
+        never changes the membership vector."""
+        serial = Log.parse("R9[neutral] W9[neutral]")
+        combined = log.concat(serial)
+        assert classify(combined) == classify(log)
+
+
+class TestPaperConstructions:
+    # Census representatives for the building blocks (over items a, b, c):
+    # region 3 stands in for the paper's L2 (TO(3) & SSR & 2PL - TO(1)),
+    # region 5 for L6 (TO(3) & TO(1) & SSR - 2PL),
+    # region 4 for L4 (2PL & SSR - TO(1) - TO(3)).
+    L2 = Log.parse("R3[b] R1[a] W1[a] W3[a] R2[a] W2[a]")  # region 3
+    L6 = Log.parse("R2[a] R3[a] R1[a] W1[a] W2[b] W3[b]")  # region 5
+    L4 = Log.parse("R1[a] W1[a] R3[b] R2[a] W2[a] W3[a]")  # region 4
+
+    def test_building_blocks(self):
+        assert region_of(classify(self.L2)) == 3
+        assert region_of(classify(self.L6)) == 5
+        assert region_of(classify(self.L4)) == 4
+
+    def test_l7_construction(self):
+        """Paper proof i): L7 = L2 . L6 lands in
+        TO(3) & SSR - TO(1) - 2PL (our region 7)."""
+        l2, l6 = _disjoint(self.L2, self.L6)
+        l7 = l2.concat(l6)
+        membership = classify(l7)
+        assert membership.to3 and membership.ssr
+        assert not membership.to1 and not membership.two_pl
+        assert region_of(membership) == 7
+
+    def test_l9_construction(self):
+        """Paper proof ii): L9 = L4 . L7 lands in
+        DSR & SSR - TO(3) - 2PL - TO(1) (our region 8)."""
+        l2, l6 = _disjoint(self.L2, self.L6)
+        l7 = l2.concat(l6)
+        l4, l7 = _disjoint(self.L4, l7)
+        l9 = l4.concat(l7)
+        membership = classify(l9)
+        assert membership.dsr and membership.ssr
+        assert not membership.to3
+        assert not membership.two_pl and not membership.to1
+        assert region_of(membership) == 8

@@ -1,0 +1,77 @@
+"""Tests for the dependency digraph (Definitions 1, 7; Theorem 1)."""
+
+from hypothesis import given
+
+from repro.model.dependency import DependencyGraph, dependency_pairs
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+class TestEdges:
+    def test_example1_edges(self, example1_log):
+        pairs = dependency_pairs(example1_log)
+        # Fig. 1(c): T1 -> T2 (W1[y] before R2[y]), T1 -> T3 (W1[x] before
+        # R3[x]), T2 -> T3 (R2[y] before W3[y]), T1 -> T3 via y as well.
+        assert (1, 3) in pairs
+        assert (1, 2) in pairs
+        assert (2, 3) in pairs
+        assert (3, 2) not in pairs
+
+    def test_read_read_creates_no_edge(self):
+        pairs = dependency_pairs(Log.parse("R1[x] R2[x]"))
+        assert pairs == set()
+
+    def test_same_transaction_creates_no_edge(self):
+        pairs = dependency_pairs(Log.parse("R1[x] W1[x]"))
+        assert pairs == set()
+
+    def test_edge_causes_recorded(self):
+        graph = DependencyGraph.of_log(Log.parse("W1[x] R2[x]"))
+        (edge,) = graph.edges
+        assert edge.source == 1 and edge.target == 2
+        assert str(edge.cause[0]) == "W1[x]"
+
+
+class TestCycles:
+    def test_acyclic_log(self, example1_log):
+        graph = DependencyGraph.of_log(example1_log)
+        assert not graph.has_cycle()
+        assert graph.topological_order() == [1, 2, 3]
+
+    def test_cyclic_log(self):
+        graph = DependencyGraph.of_log(Log.parse("R1[x] R2[x] W1[x] W2[x]"))
+        assert graph.has_cycle()
+        assert graph.topological_order() is None
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_find_cycle_returns_none_when_acyclic(self):
+        graph = DependencyGraph.of_log(Log.parse("W1[x] R2[x] W3[y]"))
+        assert graph.find_cycle() is None
+
+    @given(small_logs())
+    def test_topological_order_respects_edges(self, log):
+        graph = DependencyGraph.of_log(log)
+        order = graph.topological_order()
+        if order is None:
+            assert graph.find_cycle() is not None
+            return
+        position = {txn: index for index, txn in enumerate(order)}
+        for source, target in graph.edge_pairs():
+            assert position[source] < position[target]
+
+    @given(small_logs())
+    def test_transitive_closure_is_transitive(self, log):
+        closure = DependencyGraph.of_log(log).transitive_closure()
+        for a, reachable in closure.items():
+            for b in reachable:
+                assert closure[b] <= reachable | {a}
+
+
+class TestPartialOrder:
+    def test_theorem1_partial_order_iff_acyclic(self):
+        acyclic = DependencyGraph.of_log(Log.parse("W1[x] R2[x]"))
+        cyclic = DependencyGraph.of_log(Log.parse("R1[x] R2[x] W1[x] W2[x]"))
+        assert acyclic.is_partial_order()
+        assert not cyclic.is_partial_order()

@@ -1,0 +1,131 @@
+"""Differential validation: custom deciders vs independent oracles.
+
+The class-membership procedures in ``repro.classes`` embed non-trivial
+derivations (the 2PL lock-point system, the Kahn-based DSR test, the
+precedence-augmented SSR test).  These tests check them against slower but
+simpler implementations on exhaustive/random small inputs:
+
+* DSR — against ``networkx.is_directed_acyclic_graph``;
+* SSR — against brute force over all serial permutations (conflict order +
+  real-time precedence checked directly);
+* 2PL — against brute force over a discretized lock-point grid, using only
+  the interval construction (``a = min(lambda, first)``,
+  ``r = max(lambda, last)``) and raw disjointness, *not* the derived
+  inequalities the production decider solves.
+"""
+
+import itertools
+from fractions import Fraction
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.classes.membership import is_dsr, is_ssr, precedence_pairs
+from repro.classes.two_pl import is_two_pl, _item_uses
+from repro.model.dependency import DependencyGraph
+from repro.model.log import Log
+from tests.conftest import small_logs, two_step_logs
+
+
+# ----------------------------------------------------------------------
+# DSR vs networkx
+# ----------------------------------------------------------------------
+class TestDSRDifferential:
+    @given(small_logs())
+    @settings(max_examples=300)
+    def test_matches_networkx(self, log):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(log.txn_ids)
+        for source, target in DependencyGraph.of_log(log).edge_pairs():
+            graph.add_edge(source, target)
+        assert is_dsr(log) == nx.is_directed_acyclic_graph(graph)
+
+
+# ----------------------------------------------------------------------
+# SSR vs permutation brute force
+# ----------------------------------------------------------------------
+def _ssr_bruteforce(log: Log) -> bool:
+    dependencies = set(DependencyGraph.of_log(log).edge_pairs())
+    precedence = precedence_pairs(log)
+    txns = sorted(log.txn_ids)
+    for order in itertools.permutations(txns):
+        position = {txn: index for index, txn in enumerate(order)}
+        if all(position[a] < position[b] for a, b in dependencies) and all(
+            position[a] < position[b] for a, b in precedence
+        ):
+            return True
+    return not txns  # the empty log is trivially SSR
+
+
+class TestSSRDifferential:
+    @given(small_logs(max_txns=4))
+    @settings(max_examples=200)
+    def test_matches_bruteforce(self, log):
+        assert is_ssr(log) == _ssr_bruteforce(log)
+
+
+# ----------------------------------------------------------------------
+# 2PL vs lock-point grid brute force
+# ----------------------------------------------------------------------
+def _legal_lock_points(log: Log, lam: dict[int, Fraction]) -> bool:
+    """Raw 2PL semantics for a lock-point assignment: build each
+    transaction's lock interval per item and check conflicting intervals
+    are disjoint in access order."""
+    uses = _item_uses(log)
+    intervals: dict[tuple[int, str], tuple[Fraction, Fraction]] = {}
+    for (txn, item), use in uses.items():
+        a = min(lam[txn], Fraction(use.first))
+        r = max(lam[txn], Fraction(use.last))
+        intervals[(txn, item)] = (a, r)
+    by_item: dict[str, list[int]] = {}
+    for (txn, item) in uses:
+        by_item.setdefault(item, []).append(txn)
+    for item, txns in by_item.items():
+        for t1, t2 in itertools.combinations(txns, 2):
+            u1, u2 = uses[(t1, item)], uses[(t2, item)]
+            if not (u1.writes or u2.writes):
+                continue
+            a1, r1 = intervals[(t1, item)]
+            a2, r2 = intervals[(t2, item)]
+            if u1.last < u2.first:
+                if not r1 < a2:
+                    return False
+            elif u2.last < u1.first:
+                if not r2 < a1:
+                    return False
+            else:
+                return False  # interleaved conflicting accesses
+    return True
+
+
+def _two_pl_bruteforce(log: Log) -> bool:
+    txns = sorted(log.txn_ids)
+    if not txns:
+        return True
+    # Candidate lock points on the half-integer grid spanning the log:
+    # any feasible real assignment can be perturbed onto it, since all
+    # interval endpoints are integers or lock points.
+    grid = [Fraction(n, 2) for n in range(1, 2 * len(log) + 2)]
+    for assignment in itertools.product(grid, repeat=len(txns)):
+        lam = dict(zip(txns, assignment))
+        if _legal_lock_points(log, lam):
+            return True
+    return False
+
+
+class TestTwoPLDifferential:
+    @given(two_step_logs(max_txns=3))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_grid_bruteforce_two_step(self, log):
+        assert is_two_pl(log) == _two_pl_bruteforce(log)
+
+    @given(small_logs(max_txns=3, max_ops=2))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_grid_bruteforce_multistep(self, log):
+        assert is_two_pl(log) == _two_pl_bruteforce(log)
+
+    def test_known_logs(self):
+        assert _two_pl_bruteforce(Log.parse("R1[x] W1[x] R2[x] W2[x]"))
+        assert not _two_pl_bruteforce(
+            Log.parse("R2[a] R3[a] R1[a] W1[a] W2[b] W3[b]")
+        )

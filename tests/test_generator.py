@@ -1,0 +1,110 @@
+"""Tests for the log generators and enumerators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.generator import (
+    WorkloadSpec,
+    all_interleavings,
+    enumerate_small_logs,
+    enumerate_two_step_systems,
+    generate_transactions,
+    interleave,
+    random_log,
+    random_logs,
+)
+from repro.model.operations import two_step
+
+
+class TestWorkloadSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_txns": 0},
+            {"ops_per_txn": 0},
+            {"num_items": 0},
+            {"write_ratio": 1.5},
+            {"skew": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestRandomGeneration:
+    def test_deterministic_from_seed(self):
+        spec = WorkloadSpec(num_txns=4, ops_per_txn=3, num_items=5)
+        a = list(random_logs(spec, 5, seed=42))
+        b = list(random_logs(spec, 5, seed=42))
+        assert a == b
+        c = list(random_logs(spec, 5, seed=43))
+        assert a != c
+
+    def test_transaction_shape(self):
+        spec = WorkloadSpec(num_txns=3, ops_per_txn=4, num_items=5)
+        txns = generate_transactions(spec, random.Random(0))
+        assert len(txns) == 3
+        assert all(t.num_operations == 4 for t in txns)
+
+    def test_two_step_model_flag(self):
+        spec = WorkloadSpec(
+            num_txns=4, ops_per_txn=4, num_items=5, two_step_model=True
+        )
+        log = random_log(spec, random.Random(1))
+        assert log.is_two_step()
+
+    def test_skew_concentrates_accesses(self):
+        rng = random.Random(0)
+        flat = WorkloadSpec(num_txns=20, ops_per_txn=5, num_items=20, skew=0.0)
+        hot = WorkloadSpec(num_txns=20, ops_per_txn=5, num_items=20, skew=2.0)
+
+        def top_share(spec):
+            counts = {}
+            for txn in generate_transactions(spec, random.Random(7)):
+                for op in txn.operations:
+                    counts[op.item] = counts.get(op.item, 0) + 1
+            return max(counts.values()) / sum(counts.values())
+
+        assert top_share(hot) > top_share(flat)
+
+    def test_interleave_preserves_program_order(self):
+        txns = [two_step(i, [f"r{i}"], [f"w{i}"]) for i in range(1, 4)]
+        log = interleave(txns, random.Random(3))
+        for txn in txns:
+            subsequence = [op for op in log if op.txn == txn.txn_id]
+            assert tuple(subsequence) == txn.operations
+
+    def test_vary_length(self):
+        spec = WorkloadSpec(
+            num_txns=30, ops_per_txn=6, num_items=5, vary_length=True
+        )
+        lengths = {
+            t.num_operations
+            for t in generate_transactions(spec, random.Random(2))
+        }
+        assert len(lengths) > 1
+        assert max(lengths) <= 6
+
+
+class TestEnumeration:
+    def test_all_interleavings_count(self):
+        txns = [two_step(1, ["a"], ["a"]), two_step(2, ["b"], ["b"])]
+        # C(4, 2) = 6 interleavings of two 2-op programs.
+        assert len(list(all_interleavings(txns))) == 6
+
+    def test_all_interleavings_unique(self):
+        txns = [two_step(1, ["a"], ["a"]), two_step(2, ["a"], ["a"])]
+        logs = list(all_interleavings(txns))
+        assert len(logs) == len(set(logs))
+
+    def test_two_step_system_count(self):
+        # 2 items -> 4 (read, write) pairs per txn; 2 txns -> 16 systems.
+        systems = list(enumerate_two_step_systems(2, ("a", "b")))
+        assert len(systems) == 16
+
+    def test_enumerate_small_logs_limit(self):
+        logs = list(enumerate_small_logs(2, ("a", "b"), limit=10))
+        assert len(logs) == 10

@@ -1,0 +1,104 @@
+"""Tests for the Fig. 4 hierarchy classifier and census."""
+
+import pytest
+
+from repro.classes.hierarchy import (
+    REGION_NAMES,
+    ClassMembership,
+    InconsistentMembership,
+    canonical_logs,
+    census,
+    classify,
+    region_of,
+)
+from repro.model.log import Log
+
+
+class TestClassify:
+    def test_serial_log_in_innermost_region(self):
+        membership = classify(Log.parse("R1[x] W1[x] R2[x] W2[x]"))
+        assert region_of(membership) == 1
+
+    def test_example1_region(self):
+        # Example 1 is in TO(3) and 2PL but not TO(1): region 3.
+        membership = classify(Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]"))
+        assert membership.to3 and membership.two_pl and not membership.to1
+        assert region_of(membership) == 3
+
+    def test_membership_rendering(self):
+        membership = classify(Log.parse("R1[x] W1[x]"))
+        assert "DSR" in str(membership)
+
+
+class TestRegionMap:
+    def test_all_twelve_regions_named(self):
+        assert sorted(REGION_NAMES) == list(range(1, 13))
+
+    @pytest.mark.parametrize(
+        "vector, region",
+        [
+            # (two_pl, to1, to3, ssr, dsr, sr) -> region
+            ((True, True, True, True, True, True), 1),
+            ((True, True, False, True, True, True), 2),
+            ((True, False, True, True, True, True), 3),
+            ((True, False, False, True, True, True), 4),
+            ((False, True, True, True, True, True), 5),
+            ((False, True, False, True, True, True), 6),
+            ((False, False, True, True, True, True), 7),
+            ((False, False, False, True, True, True), 8),
+            ((False, False, True, False, True, True), 9),
+            ((False, False, False, False, True, True), 10),
+            ((False, False, False, False, False, True), 11),
+            ((False, False, False, False, False, False), 12),
+        ],
+    )
+    def test_region_numbering(self, vector, region):
+        assert region_of(ClassMembership(*vector)) == region
+
+    @pytest.mark.parametrize(
+        "vector",
+        [
+            (True, False, False, False, True, True),  # 2PL outside SSR
+            (False, True, False, False, True, True),  # TO(1) outside SSR
+            (False, False, True, True, False, True),  # TO(3) outside DSR
+            (False, False, False, True, True, False),  # DSR outside SR
+        ],
+    )
+    def test_impossible_vectors_raise(self, vector):
+        with pytest.raises(InconsistentMembership):
+            region_of(ClassMembership(*vector))
+
+
+class TestCanonicalLogs:
+    def test_expected_regions(self):
+        logs = canonical_logs()
+        expected = {
+            "example1": 3,
+            "example2": 3,
+            "example3": 1,
+            "starvation": 2,
+            "to3_not_ssr": 9,
+            "to1_not_2pl_not_to3": 6,
+            "sr_not_dsr": 11,
+            "not_sr": 12,
+        }
+        for name, region in expected.items():
+            assert region_of(classify(logs[name])) == region, name
+
+
+class TestCensus:
+    def test_two_item_census_covers_eleven_regions(self):
+        result = census(num_txns=3, items=("a", "b"), include_write_only=True)
+        # Region 6 needs a third item; everything else is inhabited.
+        assert result.missing_regions() == [6]
+        assert result.total_logs == 9264
+        assert sum(result.counts.values()) == result.total_logs
+
+    def test_representatives_classify_back(self):
+        result = census(num_txns=2, items=("a", "b"))
+        for region, log in result.representatives.items():
+            assert region_of(classify(log)) == region
+
+    def test_limit_short_circuits(self):
+        result = census(num_txns=3, items=("a", "b"), limit=100)
+        assert result.total_logs == 100

@@ -1,0 +1,88 @@
+"""Unit tests for the log quintuple (Section II)."""
+
+import pytest
+from hypothesis import given
+
+from repro.model.log import Log
+from repro.model.operations import read, two_step, write
+from tests.conftest import small_logs
+
+
+class TestParsing:
+    def test_parse_roundtrip(self):
+        text = "W1[x] W1[y] R3[x] R2[y]"
+        log = Log.parse(text)
+        assert str(log) == text
+
+    def test_parse_without_spaces(self):
+        log = Log.parse("W1[x]R2[y]")
+        assert len(log) == 2
+        assert log.operations[0] == write(1, "x")
+        assert log.operations[1] == read(2, "y")
+
+    def test_parse_multichar_identifiers(self):
+        log = Log.parse("R12[item_3]")
+        assert log.operations[0].txn == 12
+        assert log.operations[0].item == "item_3"
+
+    @pytest.mark.parametrize("bad", ["X1[x]", "R1(x)", "R1[x] garbage", "R[x]"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            Log.parse(bad)
+
+    @given(small_logs())
+    def test_parse_inverts_str(self, log):
+        assert Log.parse(str(log)) == log
+
+
+class TestQuintuple:
+    def test_items_and_txn_ids(self):
+        log = Log.parse("R1[x] W2[y] R1[y]")
+        assert log.items == {"x", "y"}
+        assert log.txn_ids == {1, 2}
+
+    def test_positions_are_one_based(self):
+        log = Log.parse("R1[x] W2[y]")
+        assert log.position(read(1, "x")) == 1
+        assert log.position(write(2, "y")) == 2
+
+    def test_transactions_preserve_program_order(self):
+        log = Log.parse("R1[x] W2[y] W1[z]")
+        t1 = log.transactions[1]
+        assert [str(op) for op in t1.operations] == ["R1[x]", "W1[z]"]
+
+    def test_max_ops_per_txn(self):
+        log = Log.parse("R1[x] R1[y] R1[z] W2[x]")
+        assert log.max_ops_per_txn == 3
+
+
+class TestStructure:
+    def test_serial_detection(self):
+        assert Log.parse("R1[x] W1[y] R2[x]").is_serial()
+        assert not Log.parse("R1[x] R2[x] W1[y]").is_serial()
+
+    def test_two_step_detection(self):
+        assert Log.parse("R1[x] W1[y]").is_two_step()
+        assert not Log.parse("W1[y] R1[x]").is_two_step()
+
+    def test_from_serial(self):
+        log = Log.from_serial([two_step(1, ["x"], ["y"]), two_step(2, ["y"], ["z"])])
+        assert str(log) == "R1[x] W1[y] R2[y] W2[z]"
+        assert log.is_serial()
+
+    def test_concat_requires_disjoint_txns(self):
+        a = Log.parse("R1[x] W1[x]")
+        b = Log.parse("R1[y] W1[y]")
+        with pytest.raises(ValueError):
+            a.concat(b)
+        renamed = b.renumbered({1: 2})
+        combined = a.concat(renamed)
+        assert str(combined) == "R1[x] W1[x] R2[y] W2[y]"
+
+    def test_relabeled_items(self):
+        log = Log.parse("R1[x] W2[x]").relabeled_items({"x": "q"})
+        assert str(log) == "R1[q] W2[q]"
+
+    def test_prefix(self):
+        log = Log.parse("R1[x] W2[y] W1[z]")
+        assert str(log.prefix(2)) == "R1[x] W2[y]"

@@ -1,0 +1,143 @@
+"""Property-based tests of the MT(k) theorems (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classes.membership import is_dsr
+from repro.core.mtk import MTkScheduler
+from repro.core.table import OptimizedEncoding
+from repro.core.timestamp import UNDEFINED
+from repro.model.dependency import DependencyGraph
+from tests.conftest import small_logs, two_step_logs
+
+
+class TestTheorem2:
+    """MT(k) assures serializability: every accepted log is DSR and the
+    vector order extends the dependency order."""
+
+    @given(small_logs(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=300)
+    def test_accepted_logs_are_dsr(self, log, k):
+        scheduler = MTkScheduler(k)
+        if scheduler.accepts(log):
+            assert is_dsr(log)
+
+    @given(small_logs(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=200)
+    def test_serialization_extends_dependencies(self, log, k):
+        scheduler = MTkScheduler(k)
+        if not scheduler.accepts(log):
+            return
+        order = scheduler.serialization_order()
+        position = {txn: index for index, txn in enumerate(order)}
+        for source, target in DependencyGraph.of_log(log).edge_pairs():
+            assert position[source] < position[target]
+
+    @given(small_logs(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=200)
+    def test_variants_remain_sound(self, log, k):
+        for kwargs in (
+            {"thomas_write_rule": True},
+            {"anti_starvation": True},
+            {"read_rule": "relaxed"},
+            {"read_rule": "none"},
+            {"encoding": OptimizedEncoding(lambda item: True)},
+        ):
+            scheduler = MTkScheduler(k, **kwargs)
+            if scheduler.accepts(log):
+                # Ignored writes remove operations from the effective log;
+                # the surviving operations must still be DSR.
+                result = scheduler.run(log)
+                performed = [d.op for d in result.decisions if d.performed]
+                from repro.model.log import Log
+
+                assert is_dsr(Log(tuple(performed)))
+
+
+class TestTheorem3:
+    """TO(2q-1) = TO(k) for all k >= 2q-1."""
+
+    @given(two_step_logs())
+    @settings(max_examples=300)
+    def test_saturation_two_step(self, log):
+        # q = 2 for the two-step single-read/single-write model: TO(3) =
+        # TO(4) = TO(5)...
+        verdict3 = MTkScheduler(3).accepts(log)
+        for k in (4, 5, 7):
+            assert MTkScheduler(k).accepts(log) == verdict3
+
+    @given(small_logs(max_ops=2))
+    @settings(max_examples=200)
+    def test_saturation_multi_step_q2(self, log):
+        q = log.max_ops_per_txn
+        if q == 0:
+            return
+        saturated = MTkScheduler(max(1, 2 * q - 1)).accepts(log)
+        assert MTkScheduler(2 * q).accepts(log) == saturated
+        assert MTkScheduler(2 * q + 2).accepts(log) == saturated
+
+
+class TestLemma4:
+    """With k = 2q, the 2q-th element is never assigned."""
+
+    @given(small_logs(max_ops=3), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=200)
+    def test_last_element_never_set(self, log, _unused):
+        q = log.max_ops_per_txn
+        if q == 0:
+            return
+        k = 2 * q
+        scheduler = MTkScheduler(k, read_rule="none")
+        scheduler.run(log, stop_on_reject=True)
+        for txn in scheduler.table.known_txns():
+            if txn == 0:
+                continue
+            assert scheduler.table.vector(txn).get(k) is UNDEFINED
+
+
+class TestMonotonicity:
+    """Orders never flip: once TS(i) < TS(j), it stays that way."""
+
+    @given(small_logs())
+    @settings(max_examples=150)
+    def test_encoded_orders_are_stable(self, log):
+        from repro.core.timestamp import Ordering, compare
+
+        scheduler = MTkScheduler(3)
+        scheduler.reset()
+        decided: dict[tuple[int, int], Ordering] = {}
+        for op in log:
+            if op.txn in scheduler.aborted:
+                break
+            scheduler.process(op)
+            txns = [t for t in scheduler.table.known_txns() if t != 0]
+            for index, a in enumerate(txns):
+                for b in txns[index + 1 :]:
+                    ordering = compare(
+                        scheduler.table.vector(a), scheduler.table.vector(b)
+                    ).ordering
+                    key = (a, b)
+                    if key in decided:
+                        assert ordering is decided[key], (
+                            f"order of T{a}, T{b} flipped"
+                        )
+                    if ordering in (Ordering.LESS, Ordering.GREATER):
+                        decided[key] = ordering
+
+
+class TestStarvationFreedom:
+    """The III-D-4 remedy guarantees progress after one restart when the
+    blocker does not abort."""
+
+    @given(small_logs())
+    @settings(max_examples=150)
+    def test_reseeded_transaction_clears_its_blocker(self, log):
+        scheduler = MTkScheduler(2, anti_starvation=True)
+        result = scheduler.run(log, stop_on_reject=True)
+        if result.accepted:
+            return
+        victim = next(iter(result.aborted))
+        failed_op = result.decisions[-1].op
+        scheduler.restart(victim)
+        # Re-issuing the failed operation now succeeds: the vector was
+        # seeded past the blocker.
+        assert scheduler.process(failed_op).accepted

@@ -1,0 +1,129 @@
+"""Tests for the multiversion MT(k) scheduler (III-D-6d)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiversion import MVMTkScheduler
+from repro.core.mtk import MTkScheduler
+from repro.model.log import Log
+from repro.model.operations import Operation
+from tests.conftest import small_logs
+
+
+def _serial_reads_from(log: Log, order: list[int]) -> list[tuple[int, str, int]]:
+    """Reads-from of the serial replay of *log*'s transactions in
+    *order* (0 = initial version)."""
+    last_writer: dict[str, int] = {}
+    relation = []
+    transactions = log.transactions
+    for txn_id in order:
+        for op in transactions[txn_id].operations:
+            if op.kind.is_read:
+                relation.append((op.txn, op.item, last_writer.get(op.item, 0)))
+            else:
+                last_writer[op.item] = op.txn
+    return relation
+
+
+class TestReadBehaviour:
+    def test_late_reader_gets_old_version(self):
+        """The Fig. 5-flavoured pattern: a reader below the newest writer
+        reads an older version instead of aborting."""
+        scheduler = MVMTkScheduler(2)
+        log = Log.parse("W1[x] W2[x] R3[y] R3[x]")
+        # R3[x]: TS(3) < TS(2)?  TS(3)=<1,..> after R3[y]; newest writer
+        # T2 has <2,..>: Set(2,3) fails, so T3 reads T1's or T0's version.
+        result = scheduler.run(log)
+        assert result.accepted
+        read_decision = result.decisions[-1]
+        assert read_decision.reason.startswith("read-old-version")
+
+    def test_plain_mt_aborts_same_log(self):
+        log = Log.parse("W1[x] W2[x] R3[y] R3[x]")
+        assert not MTkScheduler(2, read_rule="none").accepts(log)
+        assert MVMTkScheduler(2).accepts(log)
+
+    def test_write_invalidating_read_aborts(self):
+        """A write sliding between a version and its reader must abort."""
+        from repro.model.operations import read, write
+
+        scheduler = MVMTkScheduler(2)
+        assert scheduler.process(write(1, "x")).accepted  # TS(1) = <1,*>
+        assert scheduler.process(read(2, "x")).accepted  # TS(2) = <2,*>
+        # Pin T3 strictly between T1 and T2: <1,5>.
+        t3 = scheduler.table.vector(3)
+        t3.set(1, 1)
+        t3.set(2, 5)
+        decision = scheduler.process(write(3, "x"))
+        # T2 (above T3) read T1's version (below T3): the new version
+        # would invalidate that read.
+        assert not decision.accepted
+        assert "TS(2)" in decision.reason
+
+
+class TestViewEquivalence:
+    @given(small_logs())
+    @settings(max_examples=300)
+    def test_reads_match_serial_replay(self, log):
+        """End-to-end correctness: the executed reads-from relation equals
+        the serial replay in the scheduler's serialization order."""
+        scheduler = MVMTkScheduler(3)
+        if not scheduler.accepts(log):
+            return
+        order = scheduler.serialization_order()
+        assert sorted(scheduler.reads_from()) == sorted(
+            _serial_reads_from(log, order)
+        )
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_version_chain_is_vector_ordered(self, log):
+        from repro.core.timestamp import Ordering, compare
+
+        scheduler = MVMTkScheduler(3)
+        scheduler.run(log, stop_on_reject=True)
+        for item in log.items:
+            chain = scheduler.version_chain(item)
+            for earlier, later in zip(chain, chain[1:]):
+                assert compare(
+                    scheduler.table.vector(earlier),
+                    scheduler.table.vector(later),
+                ).ordering is Ordering.LESS
+
+
+class TestDegreeOfConcurrency:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_mv_accepts_at_least_plain_on_read_heavy(self, seed):
+        """On read-heavy streams multiversioning only helps."""
+        import random
+
+        from repro.model.generator import WorkloadSpec, random_log
+
+        spec = WorkloadSpec(
+            num_txns=4, ops_per_txn=3, num_items=4, write_ratio=0.25
+        )
+        log = random_log(spec, random.Random(seed))
+        if MTkScheduler(3, read_rule="none").accepts(log):
+            assert MVMTkScheduler(3).accepts(log)
+
+
+class TestAbortRetraction:
+    def test_aborted_writer_version_is_retracted(self):
+        """Regression: an aborted writer's version must leave the chain,
+        or later readers would be served phantom data."""
+        from repro.model.operations import read, write
+
+        scheduler = MVMTkScheduler(2)
+        assert scheduler.process(write(1, "x")).accepted
+        assert scheduler.process(read(2, "x")).accepted
+        # Pin T3 between T1 and T2 so its write aborts (invalidates T2's
+        # read), then confirm no T3 version lingers.
+        t3 = scheduler.table.vector(3)
+        t3.set(1, 1)
+        t3.set(2, 5)
+        assert not scheduler.process(write(3, "x")).accepted
+        assert 3 not in scheduler.version_chain("x")
+        # A fresh reader still sees T1's version.
+        decision = scheduler.process(read(4, "x"))
+        assert decision.accepted
+        assert scheduler.read_source(4, "x") == 1

@@ -1,0 +1,142 @@
+"""Tests for MT(k1, k2) and the hierarchical generalization (Section V-A)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.classes.membership import is_dsr
+from repro.core.mtk import MTkScheduler
+from repro.core.nested import (
+    HierarchicalScheduler,
+    NestedScheduler,
+    groups_by_read_write_sets,
+    groups_by_site,
+    single_level,
+)
+from repro.model.log import Log
+from repro.model.operations import read, two_step, write
+from repro.workloads.nested_wl import TABLE_IV_TYPES, typed_transactions
+from tests.conftest import small_logs
+
+
+EXAMPLE4_LOG = Log.parse("W1[x] R2[y] R2[x] W3[y]")
+EXAMPLE4_GROUPS = {1: 1, 2: 1, 3: 2}
+
+
+class TestExample4:
+    """Example 4 / Fig. 12 / Table III."""
+
+    def test_accepted(self):
+        scheduler = NestedScheduler(2, 2, EXAMPLE4_GROUPS)
+        assert scheduler.accepts(EXAMPLE4_LOG)
+
+    def test_table_three_vectors(self):
+        scheduler = NestedScheduler(2, 2, EXAMPLE4_GROUPS)
+        scheduler.run(EXAMPLE4_LOG)
+        gs = scheduler.group_snapshot()
+        assert gs[0] == (0, None)
+        assert gs[1] == (1, None)  # edge a: G0 -> G1
+        assert gs[2] == (2, None)  # edge d: G1 -> G2
+        ts = scheduler.tables[0]
+        assert ts.vector(1).snapshot() == (1, None)  # edge c: T1 -> T2
+        assert ts.vector(2).snapshot() == (2, None)
+        assert ts.vector(3).is_fresh()  # T3 only has group-level deps
+
+    def test_redundant_group_dependency_not_reencoded(self):
+        """Edge b (G0 -> G1 again) must not change any vector."""
+        scheduler = NestedScheduler(2, 2, EXAMPLE4_GROUPS)
+        scheduler.reset()
+        for op in EXAMPLE4_LOG.operations[:2]:
+            scheduler.process(op)
+        assert scheduler.stats["group_level_encodings"] == 1
+
+    def test_antisymmetry_of_group_dependency(self):
+        """A future T3 -> T2 dependency implies G2 -> G1 and is refused."""
+        scheduler = NestedScheduler(2, 2, EXAMPLE4_GROUPS)
+        scheduler.run(EXAMPLE4_LOG)
+        assert scheduler.process(write(3, "q")).accepted
+        assert not scheduler.process(read(2, "q")).accepted
+
+
+class TestReductions:
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_singleton_groups_reduce_to_mtk(self, log):
+        """Every transaction its own group: MT(k, k) == MT(k) exactly."""
+        groups = {txn: txn for txn in range(1, 6)}
+        nested = NestedScheduler(3, 3, groups)
+        flat = MTkScheduler(3, read_rule="none")
+        assert nested.accepts(log) == flat.accepts(log)
+
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_one_group_is_sound(self, log):
+        groups = {txn: 1 for txn in range(1, 6)}
+        if NestedScheduler(3, 3, groups).accepts(log):
+            assert is_dsr(log)
+
+    @given(small_logs())
+    @settings(max_examples=150)
+    def test_grouped_acceptance_is_sound(self, log):
+        groups = {txn: (txn % 2) + 1 for txn in range(1, 6)}
+        if NestedScheduler(2, 2, groups).accepts(log):
+            assert is_dsr(log)
+
+
+class TestHierarchical:
+    def test_three_level_hierarchy(self):
+        # Transactions 1, 2 in group 1; 3 in group 2; groups 1, 2 under
+        # supergroup 1.
+        paths = {1: (1, 1), 2: (1, 1), 3: (2, 1)}
+        scheduler = HierarchicalScheduler(
+            (2, 2, 2), lambda t: paths[t]
+        )
+        assert scheduler.accepts(EXAMPLE4_LOG)
+        # Cross-group dependency within the same supergroup is encoded at
+        # level 1 (the highest differing level).
+        assert scheduler.stats["group_level_encodings"] >= 1
+
+    def test_path_length_validation(self):
+        scheduler = HierarchicalScheduler((2, 2), lambda t: (1, 2))
+        with pytest.raises(ValueError):
+            scheduler.process(read(1, "x"))
+
+    def test_ks_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalScheduler((), lambda t: ())
+        with pytest.raises(ValueError):
+            HierarchicalScheduler((2, 0), lambda t: (1,))
+
+    def test_restart(self):
+        scheduler = NestedScheduler(2, 2, EXAMPLE4_GROUPS)
+        scheduler.run(EXAMPLE4_LOG)
+        scheduler.process(write(3, "q"))
+        assert not scheduler.process(read(2, "q")).accepted
+        scheduler.restart(2)
+        assert 2 not in scheduler.aborted
+        with pytest.raises(ValueError):
+            scheduler.restart(2)
+
+
+class TestPartitionRules:
+    def test_groups_by_read_write_sets_table_iv(self):
+        """Example 6 / Table IV: identical shapes share a group."""
+        txns, _ = typed_transactions(TABLE_IV_TYPES, 6, __import__("random").Random(0))
+        groups = groups_by_read_write_sets(txns)
+        shapes = {}
+        for txn in txns:
+            shape = (txn.read_set, txn.write_set)
+            shapes.setdefault(shape, set()).add(groups[txn.txn_id])
+        # Same shape -> same group; different shapes -> different groups.
+        assert all(len(g) == 1 for g in shapes.values())
+        assert len({next(iter(g)) for g in shapes.values()}) == len(shapes)
+
+    def test_table_iv_shapes(self):
+        g1 = two_step(1, ["x", "z"], ["y", "z"])
+        g2 = two_step(2, ["y", "w"], ["x", "w"])
+        groups = groups_by_read_write_sets([g1, g2])
+        assert groups == {1: 1, 2: 2}
+
+    def test_groups_by_site_reserves_group_zero(self):
+        groups = groups_by_site({1: 0, 2: 2})
+        assert groups == {1: 1, 2: 3}
+        assert 0 not in groups.values()

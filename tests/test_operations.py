@@ -1,0 +1,74 @@
+"""Unit tests for the operation/transaction model (Section II)."""
+
+import pytest
+
+from repro.model.operations import (
+    OpKind,
+    Operation,
+    Transaction,
+    multi_step,
+    read,
+    two_step,
+    write,
+)
+
+
+class TestOperation:
+    def test_constructors_and_rendering(self):
+        assert str(read(1, "x")) == "R1[x]"
+        assert str(write(2, "y")) == "W2[y]"
+
+    def test_conflict_requires_different_transactions(self):
+        assert not read(1, "x").conflicts_with(write(1, "x"))
+
+    def test_conflict_requires_same_item(self):
+        assert not write(1, "x").conflicts_with(write(2, "y"))
+
+    def test_conflict_requires_a_write(self):
+        assert not read(1, "x").conflicts_with(read(2, "x"))
+
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            (read(1, "x"), write(2, "x")),
+            (write(1, "x"), read(2, "x")),
+            (write(1, "x"), write(2, "x")),
+        ],
+    )
+    def test_conflicting_pairs(self, a, b):
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_operations_are_immutable(self):
+        op = read(1, "x")
+        with pytest.raises(AttributeError):
+            op.item = "y"
+
+
+class TestTransaction:
+    def test_read_write_sets(self):
+        txn = two_step(1, ["x", "y"], ["y", "z"])
+        assert txn.read_set == {"x", "y"}
+        assert txn.write_set == {"y", "z"}
+
+    def test_two_step_shape(self):
+        txn = two_step(3, ["a"], ["b"])
+        assert txn.is_two_step()
+        kinds = [op.kind for op in txn.operations]
+        assert kinds == [OpKind.READ, OpKind.WRITE]
+
+    def test_multi_step_detection(self):
+        txn = multi_step(1, [("W", "x"), ("R", "x")])
+        assert not txn.is_two_step()
+
+    def test_wrong_owner_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(1, (read(2, "x"),))
+
+    def test_two_step_sorts_and_dedupes_items(self):
+        txn = two_step(1, ["b", "a", "b"], ["c"])
+        items = [op.item for op in txn.operations]
+        assert items == ["a", "b", "c"]
+
+    def test_num_operations(self):
+        assert two_step(1, ["x"], ["y", "z"]).num_operations == 3

@@ -1,0 +1,95 @@
+"""Tests for the partial-order metric (III-D-5) and the adaptive
+controller (Section IV closing remark)."""
+
+import pytest
+
+from repro.analysis.partial_order import (
+    incomparable_fraction,
+    mean_incomparable_fraction,
+    ordered_and_incomparable_pairs,
+)
+from repro.core.mtk import MTkScheduler
+from repro.engine.adaptive import AdaptiveMTController
+from repro.model.generator import WorkloadSpec, random_logs
+from repro.model.log import Log
+
+
+class TestPartialOrderDegree:
+    def test_mt1_always_total_order(self, random_stream):
+        """Scalar timestamps force a total order: zero unordered pairs."""
+        for log in random_stream(60, seed=12):
+            scheduler = MTkScheduler(1)
+            if scheduler.accepts(log):
+                assert incomparable_fraction(scheduler) == 0.0
+
+    def test_example1_leaves_nothing_unordered(self, example1_log):
+        scheduler = MTkScheduler(2)
+        scheduler.accepts(example1_log)
+        ordered, incomparable = ordered_and_incomparable_pairs(scheduler)
+        assert (ordered, incomparable) == (3, 0)
+
+    def test_disjoint_transactions_stay_unordered(self):
+        scheduler = MTkScheduler(2)
+        log = Log.parse("R1[a] W1[a] R2[b] W2[b] R3[c] W3[c]")
+        assert scheduler.accepts(log)
+        # All three share <1,*>-style vectors: fully unordered.
+        assert incomparable_fraction(scheduler) == 1.0
+
+    def test_degree_grows_with_k(self):
+        """The III-D-5 claim: larger k leaves more pairs unordered."""
+        spec = WorkloadSpec(
+            num_txns=4, ops_per_txn=2, num_items=6, write_ratio=0.4
+        )
+        logs = list(random_logs(spec, 250, seed=19))
+        f1 = mean_incomparable_fraction(logs, 1)
+        f2 = mean_incomparable_fraction(logs, 2)
+        f3 = mean_incomparable_fraction(logs, 3)
+        assert f1 == 0.0
+        assert f2 > f1
+        assert f3 >= f2 * 0.95  # saturation may flatten, never collapse
+
+
+class TestAdaptiveController:
+    def _stream(self, spec, count, seed):
+        return list(random_logs(spec, count, seed=seed))
+
+    def test_grows_under_conflict(self):
+        controller = AdaptiveMTController(k_min=1, k_max=4, window=10)
+        spec = WorkloadSpec(num_txns=4, ops_per_txn=2, num_items=3)
+        for log in self._stream(spec, 80, seed=3):
+            controller.schedule_batch(log)
+        assert controller.k > 1
+        assert controller.switches() >= 1
+
+    def test_holds_on_easy_workload(self):
+        controller = AdaptiveMTController(k_min=1, k_max=4, window=10)
+        # Disjoint-item transactions: everything accepted at k = 1.
+        log = Log.parse("R1[a] W1[a] R2[b] W2[b]")
+        for _ in range(50):
+            controller.schedule_batch(log)
+        assert controller.k == 1
+        assert controller.recent_acceptance == 1.0
+
+    def test_shrinks_when_calm_returns(self):
+        controller = AdaptiveMTController(
+            k_min=1, k_max=4, window=8, grow_below=0.6, shrink_above=0.9
+        )
+        controller.k = 4
+        log = Log.parse("R1[a] W1[a] R2[b] W2[b]")
+        for _ in range(40):
+            controller.schedule_batch(log)
+        assert controller.k == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveMTController(k_min=3, k_max=2)
+        with pytest.raises(ValueError):
+            AdaptiveMTController(grow_below=0.9, shrink_above=0.5)
+
+    def test_composite_mode(self):
+        controller = AdaptiveMTController(composite=True, window=5)
+        log = Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")  # needs k >= 2
+        for _ in range(30):
+            controller.schedule_batch(log)
+        assert controller.k >= 2
+        assert controller.recent_acceptance > 0.0

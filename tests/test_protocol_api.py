@@ -1,0 +1,85 @@
+"""Tests for the shared Scheduler/Decision API surface."""
+
+import pytest
+
+from repro.core.mtk import MTkScheduler
+from repro.core.protocol import (
+    Decision,
+    DecisionStatus,
+    RunResult,
+    acceptance_count,
+)
+from repro.model.log import Log
+from repro.model.operations import read, write
+
+
+class TestDecision:
+    def test_accepted_and_performed_flags(self):
+        op = read(1, "x")
+        accept = Decision(DecisionStatus.ACCEPT, op)
+        ignore = Decision(DecisionStatus.IGNORE, op)
+        reject = Decision(DecisionStatus.REJECT, op)
+        assert accept.accepted and accept.performed
+        assert ignore.accepted and not ignore.performed
+        assert not reject.accepted and not reject.performed
+
+    def test_rendering_includes_reason(self):
+        decision = Decision(DecisionStatus.REJECT, read(1, "x"), "too late")
+        assert "too late" in str(decision)
+        assert "R1[x]" in str(decision)
+
+
+class TestRunSemantics:
+    def test_run_rejects_later_ops_of_aborted_txn(self, starvation_log):
+        scheduler = MTkScheduler(2)
+        extended = Log(
+            starvation_log.operations + (write(3, "z"), read(1, "q"))
+        )
+        result = scheduler.run(extended)
+        # W3[z] after T3's abort is auto-rejected; T1's op still runs.
+        statuses = [d.status for d in result.decisions]
+        assert statuses[-2] is DecisionStatus.REJECT
+        assert statuses[-1] is DecisionStatus.ACCEPT
+
+    def test_stop_on_reject_truncates(self, starvation_log):
+        scheduler = MTkScheduler(2)
+        result = scheduler.run(starvation_log, stop_on_reject=True)
+        assert len(result.decisions) == len(starvation_log)
+        assert result.decisions[-1].status is DecisionStatus.REJECT
+
+    def test_trace_populated_only_when_enabled(self, example2_log):
+        traced = MTkScheduler(2, trace=True).run(example2_log)
+        untraced = MTkScheduler(2, trace=False).run(example2_log)
+        assert len(traced.trace) == len(example2_log)
+        assert untraced.trace == []
+
+    def test_run_result_ignored_writes(self):
+        scheduler = MTkScheduler(2, thomas_write_rule=True)
+        log = Log.parse("R3[y] W1[y] W1[x] W3[x]")
+        result = scheduler.run(log)
+        assert result.ignored_writes == 1
+        assert result.accepted
+
+    def test_accepts_is_idempotent(self, example1_log):
+        scheduler = MTkScheduler(2)
+        assert scheduler.accepts(example1_log)
+        assert scheduler.accepts(example1_log)  # reset() makes it pure
+
+
+class TestAcceptanceCount:
+    def test_counts_over_stream(self, example1_log, starvation_log):
+        scheduler = MTkScheduler(2)
+        count = acceptance_count(
+            scheduler, [example1_log, starvation_log, example1_log]
+        )
+        assert count == 2
+
+
+class TestRunResultProjection:
+    def test_committed_log_excludes_aborted(self, starvation_log):
+        from repro.engine.executor import ExecutionReport
+
+        report = ExecutionReport()
+        report.committed = {1}
+        report.committed_ops = [write(1, "x"), write(2, "x")]
+        assert str(report.committed_log) == "W1[x]"

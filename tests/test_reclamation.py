@@ -1,0 +1,99 @@
+"""Tests for timestamp-table storage reclamation (III-D-6a/b)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mtk import MTkScheduler
+from repro.engine.executor import TransactionExecutor
+from repro.model.generator import WorkloadSpec, generate_transactions
+from repro.model.operations import read, write
+
+
+class TestReclaim:
+    def test_committed_unreferenced_rows_are_freed(self):
+        scheduler = MTkScheduler(2)
+        scheduler.process(read(1, "x"))
+        scheduler.process(write(1, "x"))
+        scheduler.commit(1)
+        # T1 is still RT(x)/WT(x): not reclaimable yet.
+        assert scheduler.reclaim_committed() == 0
+        scheduler.process(read(2, "x"))
+        scheduler.process(write(2, "x"))
+        scheduler.commit(2)
+        # Now T2 supersedes T1 everywhere and T1's history entry is dead.
+        assert scheduler.reclaim_committed() == 1
+        assert 1 not in scheduler.table.known_txns()
+
+    def test_uncommitted_rows_survive(self):
+        scheduler = MTkScheduler(2)
+        scheduler.process(read(1, "x"))
+        assert scheduler.reclaim_committed() == 0
+        assert 1 in scheduler.table.known_txns()
+
+    def test_decisions_unchanged_after_reclaim(self):
+        """Reclamation must be invisible to scheduling decisions."""
+        ops = [
+            read(1, "x"), write(1, "x"),
+            read(2, "x"), write(2, "x"),
+            read(3, "x"), write(3, "y"),
+        ]
+        plain = MTkScheduler(2)
+        reclaiming = MTkScheduler(2)
+        for index, op in enumerate(ops):
+            d1 = plain.process(op)
+            d2 = reclaiming.process(op)
+            assert d1.status == d2.status
+            if index == 3:
+                for s in (plain, reclaiming):
+                    s.commit(1)
+                    s.commit(2)
+                reclaiming.reclaim_committed()
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_reclaim_preserves_serializability(self, seed):
+        """Executor workload with periodic reclamation stays serializable
+        and the live table stays bounded by the active transactions."""
+        spec = WorkloadSpec(num_txns=9, ops_per_txn=3, num_items=10)
+        txns = generate_transactions(spec, random.Random(seed))
+        scheduler = MTkScheduler(3, anti_starvation=True)
+        executor = TransactionExecutor(scheduler, max_attempts=8)
+        report = executor.execute(txns, seed=seed)
+        assert report.is_serializable()
+        before = scheduler.table_size
+        scheduler.reclaim_committed()
+        after = scheduler.table_size
+        assert after <= before
+        # Still-referenced rows: at most one reader + one writer per item,
+        # plus any non-committed stragglers.
+        assert after <= 2 * spec.num_items + len(report.failed)
+
+    def test_long_run_table_stays_bounded(self):
+        """III-D-6a: with 8-10 active transactions at a time, periodic
+        reclamation keeps the table near the multiprogramming level even
+        over a long stream of transactions."""
+        scheduler = MTkScheduler(3)
+        rng = random.Random(0)
+        items = [f"x{i}" for i in range(6)]
+        peak_after_reclaim = 0
+        for batch in range(20):
+            base = batch * 9
+            for txn in range(base + 1, base + 10):
+                for _ in range(3):
+                    item = rng.choice(items)
+                    op = (
+                        read(txn, item)
+                        if rng.random() < 0.6
+                        else write(txn, item)
+                    )
+                    if txn in scheduler.aborted:
+                        break
+                    scheduler.process(op)
+                if txn not in scheduler.aborted:
+                    scheduler.commit(txn)
+            scheduler.reclaim_committed(include_aborted=True)
+            peak_after_reclaim = max(peak_after_reclaim, scheduler.table_size)
+        # 180 transactions processed; the live table never exceeds a small
+        # multiple of the per-batch population.
+        assert peak_after_reclaim <= 30

@@ -1,0 +1,56 @@
+"""Tests for the JSON wire format."""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.core.mtk import MTkScheduler
+from repro.model.log import Log
+from repro.model.serialize import (
+    log_from_dict,
+    log_from_json,
+    log_to_dict,
+    log_to_json,
+    run_result_to_dict,
+    run_result_to_json,
+)
+from tests.conftest import small_logs
+
+
+class TestLogRoundTrip:
+    @given(small_logs())
+    @settings(max_examples=200)
+    def test_json_round_trip(self, log):
+        assert log_from_json(log_to_json(log)) == log
+
+    def test_structured_fields(self, example1_log):
+        payload = log_to_dict(example1_log)
+        assert payload["notation"] == str(example1_log)
+        assert payload["transactions"] == [1, 2, 3]
+        assert payload["items"] == ["x", "y"]
+        assert payload["operations"][0] == {
+            "kind": "W", "txn": 1, "item": "x",
+        }
+
+    def test_accepts_bare_notation(self):
+        log = log_from_dict({"notation": "R1[x] W2[x]"})
+        assert str(log) == "R1[x] W2[x]"
+
+
+class TestRunResultExport:
+    def test_export_shape(self, example2_log):
+        scheduler = MTkScheduler(2, trace=True)
+        result = scheduler.run(example2_log)
+        payload = run_result_to_dict(result)
+        assert payload["accepted"] is True
+        assert payload["aborted"] == []
+        assert len(payload["decisions"]) == len(example2_log)
+        assert payload["decisions"][0]["status"] == "accept"
+        # Trace snapshots carry the Table I vectors.
+        assert payload["trace"][-1]["1"] == [1, 2]
+
+    def test_json_is_valid(self, starvation_log):
+        scheduler = MTkScheduler(2)
+        text = run_result_to_json(scheduler.run(starvation_log))
+        payload = json.loads(text)
+        assert payload["aborted"] == [3]

@@ -1,0 +1,165 @@
+"""Tests for timestamp vectors and Definition 6 (including Lemmas 1-2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timestamp import (
+    Comparison,
+    Counters,
+    Ordering,
+    SiteTaggedCounters,
+    TimestampVector,
+    UNDEFINED,
+    compare,
+    is_greater,
+    is_less,
+    render_snapshot,
+)
+
+
+def vec(*elements):
+    return TimestampVector(len(elements), elements)
+
+
+class TestComparison:
+    def test_defined_unequal_decides(self):
+        assert compare(vec(1, None), vec(2, None)) == Comparison(Ordering.LESS, 1)
+        assert compare(vec(3, 1), vec(3, 0)) == Comparison(Ordering.GREATER, 2)
+
+    def test_both_undefined_is_equal(self):
+        assert compare(vec(2, None), vec(2, None)) == Comparison(
+            Ordering.EQUAL, 2
+        )
+
+    def test_one_undefined_is_semi(self):
+        assert compare(vec(1, None), vec(1, 5)) == Comparison(Ordering.SEMI, 2)
+
+    def test_fully_equal_is_identical(self):
+        assert compare(vec(1, 2), vec(1, 2)).ordering is Ordering.IDENTICAL
+
+    def test_paper_interval_example(self):
+        # Section VI-A: <2,1,*> vs <2,*,*> is decided at position 2.
+        result = compare(vec(2, 1, None), vec(2, None, None))
+        assert result == Comparison(Ordering.SEMI, 2)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare(vec(1), vec(1, 2))
+
+    def test_is_less_is_greater(self):
+        assert is_less(vec(1, None), vec(2, None))
+        assert is_greater(vec(2, None), vec(1, None))
+        assert not is_less(vec(1, None), vec(1, None))  # EQUAL, not less
+
+
+# A strategy for vectors over a small element domain with undefined holes.
+elements = st.one_of(st.none(), st.integers(min_value=-3, max_value=3))
+vectors = st.lists(elements, min_size=3, max_size=3).map(
+    lambda els: TimestampVector(3, els)
+)
+
+
+class TestLemmas:
+    @given(vectors, vectors, vectors)
+    def test_lemma1_transitivity(self, a, b, c):
+        """Lemma 1: TS(i) < TS(j) and TS(j) < TS(l) imply TS(i) < TS(l)."""
+        if is_less(a, b) and is_less(b, c):
+            assert is_less(a, c)
+
+    @given(vectors)
+    def test_lemma2_irreflexivity(self, a):
+        """Lemma 2: no vector is less than itself."""
+        assert not is_less(a, a)
+
+    @given(vectors, vectors)
+    def test_antisymmetry(self, a, b):
+        """< and > are mutually exclusive and mirror images."""
+        assert not (is_less(a, b) and is_greater(a, b))
+        assert is_less(a, b) == is_greater(b, a)
+
+    @given(vectors, vectors)
+    def test_comparison_deciding_prefix_is_equal(self, a, b):
+        result = compare(a, b)
+        for position in range(1, result.position):
+            assert a.get(position) == b.get(position)
+            assert a.get(position) is not UNDEFINED
+
+
+class TestVectorMutation:
+    def test_write_once(self):
+        v = TimestampVector(2)
+        v.set(1, 5)
+        with pytest.raises(ValueError):
+            v.set(1, 6)
+
+    def test_cannot_assign_undefined(self):
+        v = TimestampVector(2)
+        with pytest.raises(ValueError):
+            v.set(1, UNDEFINED)
+
+    def test_flush_resets(self):
+        v = vec(1, 2)
+        v.flush()
+        assert v.is_fresh()
+        v.set(1, 9)  # writable again after flush
+        assert v.get(1) == 9
+
+    def test_defined_prefix_length(self):
+        assert vec(1, 2, None).defined_prefix_length() == 2
+        assert vec(None, 2, None).defined_prefix_length() == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        v = vec(1, None)
+        snap = v.snapshot()
+        v.set(2, 7)
+        assert snap == (1, None)
+
+    def test_rendering(self):
+        assert str(vec(1, None, 3)) == "<1,*,3>"
+        assert render_snapshot((None, 2)) == "<*,2>"
+
+
+class TestCounters:
+    def test_upper_monotone_and_distinct(self):
+        c = Counters()
+        values = [c.fresh_upper() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_lower_descends_below_upper(self):
+        c = Counters()
+        upper = c.fresh_upper()
+        lower = c.fresh_lower()
+        assert lower < upper
+
+    def test_pair_is_ordered(self):
+        c = Counters()
+        low, high = c.fresh_upper_pair()
+        assert low < high
+
+    def test_site_tagged_values_globally_distinct(self):
+        a, b = SiteTaggedCounters(0), SiteTaggedCounters(1)
+        values = [a.fresh_upper(), b.fresh_upper(), a.fresh_lower(), b.fresh_lower()]
+        assert len(set(values)) == 4
+
+    def test_site_tag_is_low_order(self):
+        # Fairness: counter dominates, site only breaks ties.
+        a, b = SiteTaggedCounters(0), SiteTaggedCounters(1)
+        first = a.fresh_upper()   # (1, 0)
+        second = b.fresh_upper()  # (1, 1): same counter, higher site
+        third = a.fresh_upper()   # (2, 0): higher counter beats lower site
+        assert first < second < third
+
+    def test_ensure_above_and_below(self):
+        c = SiteTaggedCounters(2)
+        c.ensure_above((10, 0))
+        assert c.fresh_upper() > (10, 0)
+        c.ensure_below((-10, 0))
+        assert c.fresh_lower() < (-10, 0)
+
+    def test_synchronize_widens_only(self):
+        c = SiteTaggedCounters(0, lcount=-5, ucount=9)
+        c.synchronize(lcount=-2, ucount=4)  # narrower: no change
+        assert c.lcount == -5 and c.ucount == 9
+        c.synchronize(lcount=-8, ucount=12)
+        assert c.lcount == -8 and c.ucount == 12

@@ -1,0 +1,97 @@
+"""Tests for the parallel comparison mechanism (Section III-E, Theorem 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.timestamp import TimestampVector, compare
+from repro.core.vector_processor import (
+    VectorComparator,
+    parallel_step_bound,
+    prefix_or_steps,
+    sequential_step_count,
+)
+
+
+def vec(*elements):
+    return TimestampVector(len(elements), elements)
+
+
+class TestFigureSix:
+    def test_paper_example(self):
+        """Fig. 6: <1,3,2,2> vs <1,3,5,2> differ first at position 3."""
+        comparator = VectorComparator(4)
+        result = comparator.compare(vec(1, 3, 2, 2), vec(1, 3, 5, 2))
+        assert result.comparison.position == 3
+        assert result.comparison.ordering.value == "<"
+        # 4 constant phases + prefix-OR tree of height log2(4) = 2.
+        assert result.parallel_steps == 6
+
+    def test_identical_vectors(self):
+        comparator = VectorComparator(4)
+        result = comparator.compare(vec(1, 2, 3, 4), vec(1, 2, 3, 4))
+        assert result.comparison.ordering.value == "=="
+
+    def test_undefined_handling(self):
+        comparator = VectorComparator(3)
+        result = comparator.compare(vec(1, None, None), vec(1, 4, None))
+        assert result.comparison.ordering.value == "?"
+        assert result.comparison.position == 2
+        result = comparator.compare(vec(1, None, None), vec(1, None, None))
+        assert result.comparison.ordering.value == "="
+
+
+elements = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+
+
+class TestAgreementWithDefinitionSix:
+    @given(
+        st.integers(min_value=1, max_value=16).flatmap(
+            lambda k: st.tuples(
+                st.lists(elements, min_size=k, max_size=k),
+                st.lists(elements, min_size=k, max_size=k),
+            )
+        )
+    )
+    @settings(max_examples=300)
+    def test_parallel_equals_sequential(self, pair):
+        left_elements, right_elements = pair
+        k = len(left_elements)
+        left = TimestampVector(k, left_elements)
+        right = TimestampVector(k, right_elements)
+        result = VectorComparator(k).compare(left, right)
+        assert result.comparison == compare(left, right)
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 64, 1024])
+    def test_step_bound_is_logarithmic(self, k):
+        assert parallel_step_bound(k) == 4 + max(1, math.ceil(math.log2(k)) if k > 1 else 1)
+
+    def test_prefix_or_tree_height(self):
+        assert prefix_or_steps(4) == 2
+        assert prefix_or_steps(5) == 3
+        assert prefix_or_steps(1024) == 10
+
+    def test_parallel_beats_sequential_for_large_k(self):
+        k = 256
+        comparator = VectorComparator(k)
+        # Worst case for the sequential scan: vectors equal through k-1.
+        left = TimestampVector(k, list(range(k - 1)) + [1])
+        right = TimestampVector(k, list(range(k - 1)) + [2])
+        result = comparator.compare(left, right)
+        sequential = sequential_step_count(left, right)
+        assert sequential == k
+        assert result.parallel_steps < sequential
+
+    def test_mean_steps_accounting(self):
+        comparator = VectorComparator(2)
+        comparator.compare(vec(1, None), vec(2, None))
+        comparator.compare(vec(1, 1), vec(1, 2))
+        assert comparator.total_comparisons == 2
+        assert comparator.mean_steps == comparator.total_steps / 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorComparator(2).compare(vec(1), vec(1))

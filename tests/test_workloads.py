@@ -1,0 +1,88 @@
+"""Tests for the workload presets and generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.hotspot import HotspotSpec, generate, hotspot_log, hotspot_logs
+from repro.workloads.nested_wl import (
+    TABLE_IV_TYPES,
+    sited_groups,
+    typed_transactions,
+    typed_workload,
+)
+from repro.workloads.synthetic import PRESETS, logs, preset, sample
+
+
+class TestPresets:
+    def test_all_presets_generate(self):
+        for name in PRESETS:
+            log = sample(name, seed=1)
+            assert len(log) > 0
+
+    def test_unknown_preset_lists_options(self):
+        with pytest.raises(KeyError, match="multiprogramming"):
+            preset("bogus")
+
+    def test_multiprogramming_level_matches_paper(self):
+        """III-D-6a: 8-10 concurrently active transactions."""
+        assert 8 <= PRESETS["multiprogramming"].num_txns <= 10
+
+    def test_two_step_preset_is_two_step(self):
+        assert sample("two_step", seed=3).is_two_step()
+
+    def test_log_stream_reproducible(self):
+        assert list(logs("low_conflict", 3, seed=5)) == list(
+            logs("low_conflict", 3, seed=5)
+        )
+
+
+class TestHotspot:
+    def test_hot_fraction_respected(self):
+        spec = HotspotSpec(
+            num_txns=30, ops_per_txn=6, hot_items=1, cold_items=50,
+            hot_fraction=0.8,
+        )
+        txns = generate(spec, random.Random(0))
+        ops = [op for t in txns for op in t.operations]
+        hot_share = sum(op.item.startswith("hot") for op in ops) / len(ops)
+        assert hot_share > 0.6
+
+    def test_zero_hot_fraction_never_hits_hot_set(self):
+        spec = HotspotSpec(hot_fraction=0.0)
+        log = hotspot_log(spec, seed=2)
+        assert all(not op.item.startswith("hot") for op in log)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HotspotSpec(hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotSpec(hot_items=0)
+
+    def test_stream(self):
+        spec = HotspotSpec()
+        assert len(list(hotspot_logs(spec, 4, seed=1))) == 4
+
+
+class TestNestedWorkloads:
+    def test_typed_transactions_match_types(self):
+        txns, groups = typed_transactions(
+            TABLE_IV_TYPES, 10, random.Random(0)
+        )
+        for txn in txns:
+            ttype = TABLE_IV_TYPES[groups[txn.txn_id] - 1]
+            assert txn.read_set == set(ttype.read_set)
+            assert txn.write_set == set(ttype.write_set)
+
+    def test_table_iv_shapes(self):
+        g1, g2 = TABLE_IV_TYPES
+        assert set(g1.read_set) == {"x", "z"} and set(g1.write_set) == {"y", "z"}
+        assert set(g2.read_set) == {"y", "w"} and set(g2.write_set) == {"x", "w"}
+
+    def test_typed_workload_interleaves(self):
+        log, groups = typed_workload(count=5, seed=1)
+        assert set(groups) == set(log.txn_ids)
+
+    def test_sited_groups_reserve_zero(self):
+        groups = sited_groups(10, 3, seed=0)
+        assert all(1 <= g <= 3 for g in groups.values())
