@@ -7,7 +7,9 @@ stated claim), asserts its *shape*, prints it, and saves it under
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Mapping
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -17,3 +19,11 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")
+
+
+def save_json(name: str, payload: Mapping[str, Any]) -> pathlib.Path:
+    """Persist a machine-readable bench artifact to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path

@@ -11,6 +11,8 @@ Commands
     Run the Fig. 4 region census over small two-step systems.
 ``protocols``
     List the available protocols and their options.
+``bench [--quick] [--scenario NAME ...] [--out PATH]``
+    Run the consolidated benchmark scenarios and write ``BENCH_repro.json``.
 """
 
 from __future__ import annotations
@@ -135,6 +137,49 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    if args.list:
+        for name, scenario in sorted(bench.scenarios().items()):
+            print(f"{name:22s} {scenario.description}")
+        return 0
+    try:
+        payload = bench.run_bench(
+            quick=args.quick,
+            only=args.scenario or None,
+            out=args.out,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    problems = bench.validate_payload(payload)
+    rows = [
+        [
+            name,
+            result["throughput"],
+            result["aborts"],
+            result["restarts"],
+            result["element_visits"],
+            result["wall_ms"],
+        ]
+        for name, result in sorted(payload["scenarios"].items())
+    ]
+    print(
+        render_table(
+            ["scenario", "ops/s", "aborts", "restarts", "visits", "wall_ms"],
+            rows,
+            title=f"bench ({'quick' if args.quick else 'full'} mode)",
+        )
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    if problems:
+        print("schema problems:", "; ".join(problems))
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_protocols = sub.add_parser("protocols", help="list protocols")
     p_protocols.set_defaults(func=cmd_protocols)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the consolidated benchmark scenarios"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="fewer seeds (CI smoke mode)"
+    )
+    p_bench.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable); default: all",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_repro.json",
+        help="output path (default: BENCH_repro.json)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -37,12 +37,13 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from ..model.operations import Operation
+from ..obs.instrument import Instrumented
 from .protocol import Decision, DecisionStatus, Scheduler
 from .table import VIRTUAL_TXN
 from .timestamp import Counters, Element, UNDEFINED
 
 
-class MTkStarScheduler(Scheduler):
+class MTkStarScheduler(Instrumented, Scheduler):
     """The composite scheduler MT(k*) recognizing ``TO(1) | ... | TO(k)``."""
 
     def __init__(self, k: int, trace: bool = False) -> None:
@@ -51,6 +52,9 @@ class MTkStarScheduler(Scheduler):
         self.k = k
         self.trace = trace
         self.name = f"MT({k}*)"
+        self.init_observability(
+            self.name, counters=("stopped_subprotocols",)
+        )
         self.reset()
 
     # ------------------------------------------------------------------
@@ -73,11 +77,7 @@ class MTkStarScheduler(Scheduler):
         self._seq = 0
         self.failed = False
         self.live_txns: set[int] = set()
-        self.stats: dict[str, int] = {
-            "accepted": 0,
-            "rejected": 0,
-            "stopped_subprotocols": 0,
-        }
+        self.reset_observability()
 
     # ------------------------------------------------------------------
     # Row access helpers
@@ -102,7 +102,7 @@ class MTkStarScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         if op.txn == VIRTUAL_TXN:
             raise ValueError("transaction id 0 is reserved for the virtual T0")
         if self.failed:
@@ -118,11 +118,10 @@ class MTkStarScheduler(Scheduler):
             else:
                 self._wt[x] = (i, self._seq)
             self.live_txns.add(i)
-            self.stats["accepted"] += 1
             return Decision(DecisionStatus.ACCEPT, op)
         # Step 4 i): every subprotocol has stopped — abort all and rollback.
         self.failed = True
-        self.stats["rejected"] += 1
+        self.events.emit("global_restart", txn=i, item=x)
         return Decision(
             DecisionStatus.REJECT,
             op,
@@ -182,7 +181,8 @@ class MTkStarScheduler(Scheduler):
         if a is not UNDEFINED and b is not UNDEFINED:
             if a > b:  # case ii: contradiction — stop MT(h)
                 self.active[h - 1] = False
-                self.stats["stopped_subprotocols"] += 1
+                self.metrics.inc("stopped_subprotocols")
+                self.events.emit("subprotocol_stop", h=h, cause="lastcol")
             # a < b: case iii "has been encoded" — nothing to do.  a == b is
             # impossible: defined values in a LASTCOL column are distinct.
         elif a is UNDEFINED and b is UNDEFINED:
@@ -197,7 +197,8 @@ class MTkStarScheduler(Scheduler):
         for h in range(first_h, self.k + 1):
             if self.active[h - 1]:
                 self.active[h - 1] = False
-                self.stats["stopped_subprotocols"] += 1
+                self.metrics.inc("stopped_subprotocols")
+                self.events.emit("subprotocol_stop", h=h, cause="prefix")
 
     # ------------------------------------------------------------------
     # Introspection

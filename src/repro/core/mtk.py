@@ -32,16 +32,18 @@ Options reproduce the paper's variants:
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Mapping
 
 from ..model.dependency import DependencyGraph
 from ..model.operations import Operation
+from ..obs.instrument import Instrumented
 from .protocol import Decision, DecisionStatus, Scheduler
 from .table import EncodingPolicy, TimestampTable, VIRTUAL_TXN
 from .timestamp import Counters, Ordering, TimestampVector, UNDEFINED, compare
 
 
-class MTkScheduler(Scheduler):
+class MTkScheduler(Instrumented, Scheduler):
     """The multidimensional timestamp scheduler MT(k)."""
 
     #: Valid values for ``read_rule``.
@@ -68,13 +70,22 @@ class MTkScheduler(Scheduler):
         self.anti_starvation = anti_starvation
         self.partial_rollback = partial_rollback
         self._encoding = encoding
-        self._counters_factory = (
-            type(counters) if counters is not None else Counters
-        )
+        # Rebuild counters from their *initial* state on later resets.  A
+        # bare ``type(counters)()`` would drop constructor arguments (a
+        # DMT(k)-style SiteTaggedCounters needs its site), so keep a
+        # pristine copy inside a zero-argument factory closure instead.
+        if counters is not None:
+            pristine = copy.copy(counters)
+            self._counters_factory = lambda: copy.copy(pristine)
+        else:
+            self._counters_factory = Counters
         self._initial_counters = counters
         self.trace = trace
         self.name = f"MT({k})"
         self._first_reset = True
+        self.init_observability(
+            self.name, counters=("set_calls", "encodings", "restarts")
+        )
         self.reset()
 
     # ------------------------------------------------------------------
@@ -101,18 +112,12 @@ class MTkScheduler(Scheduler):
         #: rollback (effects kept, vector re-seeded) — see Section VI-C 1.
         self.partial_ok: set[int] = set()
         self._seeded: set[int] = set()
-        self.stats: dict[str, int] = {
-            "accepted": 0,
-            "rejected": 0,
-            "ignored": 0,
-            "set_calls": 0,
-            "encodings": 0,
-        }
+        self.reset_observability()
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         if op.txn == VIRTUAL_TXN:
             raise ValueError("transaction id 0 is reserved for the virtual T0")
         if op.txn in self.aborted:
@@ -120,16 +125,8 @@ class MTkScheduler(Scheduler):
                 f"T{op.txn} is aborted; call restart() before reissuing"
             )
         if op.kind.is_read:
-            decision = self._process_read(op)
-        else:
-            decision = self._process_write(op)
-        key = {
-            DecisionStatus.ACCEPT: "accepted",
-            DecisionStatus.REJECT: "rejected",
-            DecisionStatus.IGNORE: "ignored",
-        }[decision.status]
-        self.stats[key] += 1
-        return decision
+            return self._process_read(op)
+        return self._process_write(op)
 
     def _process_read(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
@@ -143,6 +140,13 @@ class MTkScheduler(Scheduler):
         # reader's and the most recent writer precedes T_i (lines 9-10).
         if self.read_rule != "none" and j == self.table.rt(x):
             wt = self.table.wt(x)
+            if wt == i:
+                # The most recent writer is the reader itself: T_i reads its
+                # own write, which conflicts with nobody.  Comparing
+                # TS(WT(x)) with TS(i) would yield IDENTICAL, not LESS, so
+                # without this case the safe read is wrongly rejected.
+                self._record_access(op)
+                return Decision(DecisionStatus.ACCEPT, op, "read-own-write")
             if self.read_rule == "relaxed":
                 if self._set_less(wt, i, x).ok:
                     self._record_access(op)
@@ -188,10 +192,18 @@ class MTkScheduler(Scheduler):
     # Internals
     # ------------------------------------------------------------------
     def _set_less(self, j: int, i: int, item: str):
-        self.stats["set_calls"] += 1
+        self.metrics.inc("set_calls")
         outcome = self.table.set_less(j, i, item)
         if outcome.encoded:
-            self.stats["encodings"] += 1
+            self.metrics.inc("encodings")
+            self.events.emit(
+                "encode",
+                txn=i,
+                item=item,
+                predecessor=j,
+                case=outcome.comparison.ordering.value,
+                position=outcome.comparison.position,
+            )
         if outcome.ok and j != i:
             self._successors.setdefault(j, set()).add(i)
         return outcome
@@ -214,6 +226,14 @@ class MTkScheduler(Scheduler):
             self.partial_ok.add(i)
         else:
             self._undo_indices(i)
+        self.events.emit(
+            "abort",
+            txn=i,
+            item=op.item,
+            blocking=blocking,
+            partial=preserve,
+            reseeded=i in self._seeded,
+        )
         return Decision(
             DecisionStatus.REJECT,
             op,
@@ -276,6 +296,8 @@ class MTkScheduler(Scheduler):
             self._seeded.discard(txn)
         else:
             self.table.vector(txn).flush()
+        self.metrics.inc("restarts")
+        self.events.emit("restart", txn=txn)
 
     def commit(self, txn: int) -> None:
         """Mark a transaction finished (storage for its row may be reclaimed
@@ -336,6 +358,12 @@ class MTkScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Registry dump with the derived gauges refreshed first."""
+        self.metrics.set_gauge("table_size", self.table_size)
+        self.metrics.set_gauge("element_visits", self.table.element_visits)
+        return super().metrics_snapshot()
+
     def table_snapshot(self) -> Mapping[int, tuple[Any, ...]] | None:
         if not self.trace:
             return None

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 from ..model.operations import Operation, Transaction
+from ..obs.instrument import Instrumented
 from .protocol import Decision, DecisionStatus, Scheduler
 from .table import TimestampTable, VIRTUAL_TXN
 from .timestamp import Element
@@ -80,7 +81,7 @@ def groups_by_site(site_of: Mapping[int, int]) -> dict[int, int]:
     return {txn: site + 1 for txn, site in site_of.items()}
 
 
-class HierarchicalScheduler(Scheduler):
+class HierarchicalScheduler(Instrumented, Scheduler):
     """``MT(k_1, ..., k_l)``: one timestamp table per hierarchy level.
 
     ``ks[0]`` is the transaction-level vector size (``k1``); ``ks[m]`` the
@@ -106,6 +107,10 @@ class HierarchicalScheduler(Scheduler):
             self.name = f"MT({ks[0]},{ks[1]})"
         else:
             self.name = "MT(" + ",".join(map(str, ks)) + ")"
+        self.init_observability(
+            self.name,
+            counters=("txn_level_encodings", "group_level_encodings"),
+        )
         self.reset()
 
     # ------------------------------------------------------------------
@@ -118,12 +123,7 @@ class HierarchicalScheduler(Scheduler):
         self._wt: dict[str, tuple[int, int]] = {}
         self._seq = 0
         self.aborted: set[int] = set()
-        self.stats: dict[str, int] = {
-            "accepted": 0,
-            "rejected": 0,
-            "txn_level_encodings": 0,
-            "group_level_encodings": 0,
-        }
+        self.reset_observability()
 
     def path(self, txn: int) -> GroupPath:
         """The transaction's group path, validated against ``levels``."""
@@ -140,7 +140,7 @@ class HierarchicalScheduler(Scheduler):
         return path
 
     # ------------------------------------------------------------------
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         if op.txn == VIRTUAL_TXN:
             raise ValueError("transaction id 0 is reserved for the virtual T0")
         if op.txn in self.aborted:
@@ -161,7 +161,7 @@ class HierarchicalScheduler(Scheduler):
         for j in predecessors:
             if not self._enforce(j, i, x):
                 self.aborted.add(i)
-                self.stats["rejected"] += 1
+                self.events.emit("abort", txn=i, item=x, blocking=j)
                 return Decision(
                     DecisionStatus.REJECT,
                     op,
@@ -172,7 +172,6 @@ class HierarchicalScheduler(Scheduler):
             self._rt[x] = (i, self._seq)
         else:
             self._wt[x] = (i, self._seq)
-        self.stats["accepted"] += 1
         return Decision(DecisionStatus.ACCEPT, op)
 
     def _rt_of(self, item: str) -> int:
@@ -192,11 +191,15 @@ class HierarchicalScheduler(Scheduler):
             if node_j != node_i:
                 outcome = self.tables[level].set_less(node_j, node_i, item)
                 if outcome.encoded:
-                    self.stats["group_level_encodings"] += 1
+                    self.metrics.inc("group_level_encodings")
+                    self.events.emit(
+                        "encode", txn=i, item=item, level=level
+                    )
                 return outcome.ok
         outcome = self.tables[0].set_less(j, i, item)
         if outcome.encoded:
-            self.stats["txn_level_encodings"] += 1
+            self.metrics.inc("txn_level_encodings")
+            self.events.emit("encode", txn=i, item=item, level=0)
         return outcome.ok
 
     def restart(self, txn: int) -> None:

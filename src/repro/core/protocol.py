@@ -95,9 +95,25 @@ class Scheduler(abc.ABC):
     #: Human-readable protocol name, e.g. ``"MT(3)"`` — set by subclasses.
     name: str = "scheduler"
 
-    @abc.abstractmethod
     def process(self, op: Operation) -> Decision:
-        """Schedule the next operation of the log."""
+        """Schedule the next operation of the log.
+
+        Template method: the protocol logic lives in the subclass's
+        :meth:`_process`; every decision then flows through
+        :meth:`_observe` so instrumented schedulers account it uniformly
+        (the :class:`repro.obs.Instrumented` mixin counts it into the
+        metrics registry and emits a ``decision`` trace event).
+        """
+        decision = self._process(op)
+        self._observe(decision)
+        return decision
+
+    @abc.abstractmethod
+    def _process(self, op: Operation) -> Decision:
+        """Protocol-specific scheduling of one operation."""
+
+    def _observe(self, decision: Decision) -> None:
+        """Decision accounting hook; overridden by ``Instrumented``."""
 
     @abc.abstractmethod
     def reset(self) -> None:

@@ -156,11 +156,33 @@ class OptimizedEncoding(NormalEncoding):
             # them) — fall back to the normal rule.
             super().encode_semi(ts_j, ts_i, position, counters, item)
             return
+        # The shorter vector may hold *holes* — defined elements past the
+        # deciding position (k-th-column counter draws land there before the
+        # prefix fills in).  Vectors are write-once, so verify the whole
+        # copy is legal before mutating anything: every already-defined
+        # element inside the copy range must match the longer vector's, and
+        # the landing position for the ``=`` rule must be free on both
+        # sides.  Any conflict falls back to the normal rule untouched.
+        landing = prefix_len + 1
+        copyable = (
+            shorter.get(landing) is UNDEFINED
+            and longer.get(landing) is UNDEFINED
+        )
+        if copyable:
+            for pos in range(position, prefix_len + 1):
+                existing = shorter.get(pos)
+                if existing is not UNDEFINED and existing != longer.get(pos):
+                    copyable = False
+                    break
+        if not copyable:
+            super().encode_semi(ts_j, ts_i, position, counters, item)
+            return
         for pos in range(position, prefix_len + 1):
-            shorter.set(pos, longer.get(pos))
+            if shorter.get(pos) is UNDEFINED:
+                shorter.set(pos, longer.get(pos))
         # Both vectors now share a defined prefix of length prefix_len; the
         # ``=`` rule encodes the order in the first free position.
-        self.encode_equal(ts_j, ts_i, prefix_len + 1, counters, item)
+        self.encode_equal(ts_j, ts_i, landing, counters, item)
 
 
 class AccessFrequencyTracker:

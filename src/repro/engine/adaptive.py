@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..core.composite import MTkStarScheduler
 from ..core.mtk import MTkScheduler
 from ..model.log import Log
+from ..obs.instrument import Instrumented
 
 
 @dataclass
@@ -36,7 +37,7 @@ class AdaptationEvent:
     action: str  # "grow" | "shrink" | "hold"
 
 
-class AdaptiveMTController:
+class AdaptiveMTController(Instrumented):
     """Adjusts the MT vector size between transaction batches."""
 
     def __init__(
@@ -66,6 +67,10 @@ class AdaptiveMTController:
         #: by a grow, so the controller stops ping-ponging around a k the
         #: workload genuinely needs.
         self._floor = k_min
+        self.init_observability(
+            "adaptive", counters=("batches", "grows", "shrinks", "holds")
+        )
+        self.metrics.set_gauge("k", self.k)
 
     # ------------------------------------------------------------------
     def _scheduler(self):
@@ -79,6 +84,7 @@ class AdaptiveMTController:
         accepted = self._scheduler().accepts(log)
         self._recent.append(accepted)
         self._batch += 1
+        self.metrics.inc("batches")
         self._adapt()
         return accepted
 
@@ -99,6 +105,11 @@ class AdaptiveMTController:
             self._recent.clear()
         self.history.append(
             AdaptationEvent(self._batch, self.k, rate, action)
+        )
+        self.metrics.inc(action + "s")
+        self.metrics.set_gauge("k", self.k)
+        self.events.emit(
+            "adapt", action=action, k=self.k, recent_acceptance=round(rate, 4)
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from ..model.dependency import DependencyGraph
 from ..model.generator import interleave
 from ..model.log import Log
 from ..model.operations import Operation, Transaction
+from ..obs.instrument import Instrumented
 from ..storage.database import Database
 from ..storage.wal import UndoLog
 
@@ -78,7 +79,7 @@ class _TxnState:
     executed_this_attempt: int = 0
 
 
-class TransactionExecutor:
+class TransactionExecutor(Instrumented):
     """Drives transactions through a scheduler with retry semantics."""
 
     def __init__(
@@ -98,6 +99,20 @@ class TransactionExecutor:
         self.max_attempts = max_attempts
         self.write_policy = write_policy
         self.rollback = rollback
+        self.init_observability(
+            "executor",
+            counters=(
+                "ops_executed",
+                "ops_reexecuted",
+                "aborts",
+                "restarts",
+                "undo_ops",
+                "ignored_writes",
+                "commits",
+                "failures",
+                "global_restarts",
+            ),
+        )
 
     # ------------------------------------------------------------------
     def execute(
@@ -110,6 +125,7 @@ class TransactionExecutor:
         interleaving), retrying aborted transactions at the tail."""
         if schedule is None:
             schedule = interleave(transactions, random.Random(seed))
+        self.reset_observability()
         self.scheduler.reset()
         plan = getattr(self.scheduler, "plan_transactions", None)
         if callable(plan):
@@ -122,18 +138,21 @@ class TransactionExecutor:
         # The work queue: planned operations first, retried programs after.
         queue: list[int] = [op.txn for op in schedule]
         pointer = 0
-        while pointer < len(queue):
-            txn_id = queue[pointer]
-            pointer += 1
-            state = states[txn_id]
-            if txn_id in report.failed or txn_id in report.committed:
-                continue
-            if state.position >= state.txn.num_operations:
-                continue
-            op = state.txn.operations[state.position]
-            finished = self._step(state, op, undo, report, queue)
-            if finished:
-                self._try_commit(state, undo, report, queue)
+        with self.metrics.timer("execute"):
+            while pointer < len(queue):
+                txn_id = queue[pointer]
+                pointer += 1
+                state = states[txn_id]
+                if txn_id in report.failed or txn_id in report.committed:
+                    continue
+                if state.position >= state.txn.num_operations:
+                    continue
+                op = state.txn.operations[state.position]
+                finished = self._step(state, op, undo, report, queue)
+                if finished:
+                    self._try_commit(state, undo, report, queue)
+        self.metrics.set_gauge("committed", len(report.committed))
+        self.metrics.set_gauge("failed", len(report.failed))
         return report
 
     # ------------------------------------------------------------------
@@ -165,6 +184,7 @@ class TransactionExecutor:
             return False
         if decision.status is DecisionStatus.IGNORE:
             report.ignored_writes += 1
+            self.metrics.inc("ignored_writes")
         else:
             self._perform(op, undo, report)
             state.executed_this_attempt += 1
@@ -181,6 +201,7 @@ class TransactionExecutor:
             before = self.database.write(op.item, value)
             undo.record_write(op.txn, op.item, before, after=value)
         report.ops_executed += 1
+        self.metrics.inc("ops_executed")
         report.committed_ops.append(op)
 
     def _try_commit(
@@ -208,11 +229,14 @@ class TransactionExecutor:
         for decision in decisions:
             if decision.status is DecisionStatus.IGNORE:
                 report.ignored_writes += 1
+                self.metrics.inc("ignored_writes")
             else:
                 self._perform(decision.op, undo, report)
         state.buffered_writes.clear()
         undo.commit(txn_id)
         report.committed.add(txn_id)
+        self.metrics.inc("commits")
+        self.events.emit("commit", txn=txn_id, attempt=state.attempt)
         commit = getattr(self.scheduler, "commit", None)
         if callable(commit):
             commit(txn_id)
@@ -225,6 +249,7 @@ class TransactionExecutor:
         queue: list[int],
     ) -> None:
         txn_id = state.txn.txn_id
+        self.metrics.inc("aborts")
         partial_ok = self.rollback == "partial" and txn_id in getattr(
             self.scheduler, "partial_ok", ()
         )
@@ -232,21 +257,30 @@ class TransactionExecutor:
             # VI-C 1: effects preserved; resume at the failed operation.
             self.scheduler.restart(txn_id)
             report.restarts += 1
+            self.metrics.inc("restarts")
+            self.events.emit("restart", txn=txn_id, partial=True)
             queue.append(txn_id)  # the failed op will be reissued
             self._requeue_remaining(state, queue)
             return
         # Full rollback: undo writes, discard the attempt, retry or fail.
-        report.undo_count += undo.rollback(txn_id)
+        undone = undo.rollback(txn_id)
+        report.undo_count += undone
+        self.metrics.inc("undo_ops", undone)
         report.ops_reexecuted += state.executed_this_attempt
+        self.metrics.inc("ops_reexecuted", state.executed_this_attempt)
         self._drop_executed_ops(txn_id, state, report)
         state.buffered_writes.clear()
         state.position = 0
         state.executed_this_attempt = 0
         if state.attempt >= self.max_attempts:
             report.failed.add(txn_id)
+            self.metrics.inc("failures")
+            self.events.emit("fail", txn=txn_id, attempts=state.attempt)
             return
         state.attempt += 1
         report.restarts += 1
+        self.metrics.inc("restarts")
+        self.events.emit("restart", txn=txn_id, partial=False)
         restart = getattr(self.scheduler, "restart", None)
         if callable(restart):
             restart(txn_id)
@@ -256,23 +290,33 @@ class TransactionExecutor:
         self, undo: UndoLog, report: ExecutionReport, queue: list[int]
     ) -> None:
         self.scheduler.reset()
+        self.metrics.inc("aborts")
+        self.metrics.inc("global_restarts")
+        self.events.emit("global_restart")
         for state in self._states.values():
             txn_id = state.txn.txn_id
             if txn_id in report.committed or txn_id in report.failed:
                 continue
             if state.position == 0 and state.executed_this_attempt == 0:
                 continue  # had not started; nothing to roll back
-            report.undo_count += undo.rollback(txn_id)
+            undone = undo.rollback(txn_id)
+            report.undo_count += undone
+            self.metrics.inc("undo_ops", undone)
             report.ops_reexecuted += state.executed_this_attempt
+            self.metrics.inc("ops_reexecuted", state.executed_this_attempt)
             self._drop_executed_ops(txn_id, state, report)
             state.buffered_writes.clear()
             state.position = 0
             state.executed_this_attempt = 0
             if state.attempt >= self.max_attempts:
                 report.failed.add(txn_id)
+                self.metrics.inc("failures")
+                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
                 continue
             state.attempt += 1
             report.restarts += 1
+            self.metrics.inc("restarts")
+            self.events.emit("restart", txn=txn_id, partial=False)
             queue.extend([txn_id] * state.txn.num_operations)
 
     def _requeue_remaining(self, state: _TxnState, queue: list[int]) -> None:

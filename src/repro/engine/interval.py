@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from ..model.operations import Operation
 from ..core.protocol import Decision, DecisionStatus, Scheduler
+from ..obs.instrument import Instrumented
 
 #: The virtual initial transaction; its interval is the single point 0.
 VIRTUAL = 0
@@ -59,7 +60,7 @@ class Interval:
         return f"[{self.lo},{self.hi})"
 
 
-class IntervalScheduler(Scheduler):
+class IntervalScheduler(Instrumented, Scheduler):
     """Timestamp-interval scheduler with a finite grid."""
 
     SPLIT_POLICIES = ("midpoint", "edge")
@@ -74,6 +75,10 @@ class IntervalScheduler(Scheduler):
         self.resolution = resolution
         self.split = split
         self.name = f"INTERVAL({split})"
+        self.init_observability(
+            self.name,
+            counters=("splits", "fragmentation_aborts", "order_aborts"),
+        )
         self.reset()
 
     def reset(self) -> None:
@@ -83,7 +88,7 @@ class IntervalScheduler(Scheduler):
         self._seq: dict[str, tuple[int, int]] = {}  # item -> (rt_seq, wt_seq)
         self._counter = 0
         self.aborted: set[int] = set()
-        self.stats = {"splits": 0, "fragmentation_aborts": 0, "order_aborts": 0}
+        self.reset_observability()
 
     # ------------------------------------------------------------------
     def interval(self, txn: int) -> Interval:
@@ -93,7 +98,7 @@ class IntervalScheduler(Scheduler):
             self._intervals[txn] = Interval(1, self.resolution)
         return self._intervals[txn]
 
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
         rt = self._rt.get(x, VIRTUAL)
         wt = self._wt.get(x, VIRTUAL)
@@ -123,7 +128,7 @@ class IntervalScheduler(Scheduler):
         if a.disjoint_below(b):
             return None
         if b.disjoint_below(a):
-            self.stats["order_aborts"] += 1
+            self.metrics.inc("order_aborts")
             return f"intervals already ordered {b} < {a}"
         # Split point c: a keeps [a.lo, c), b keeps [c, b.hi).  c must
         # satisfy a.lo < c (a stays non-empty) and c < b.hi (b stays
@@ -132,7 +137,7 @@ class IntervalScheduler(Scheduler):
         low_bound = max(a.lo + 1, b.lo)
         high_bound = min(a.hi, b.hi - 1)
         if low_bound > high_bound:
-            self.stats["fragmentation_aborts"] += 1
+            self.metrics.inc("fragmentation_aborts")
             return f"no split point left in {a} vs {b} (fragmentation)"
         if self.split == "midpoint":
             c = (low_bound + high_bound + 1) // 2
@@ -140,7 +145,7 @@ class IntervalScheduler(Scheduler):
             c = low_bound
         self._intervals[j] = Interval(a.lo, c)
         self._intervals[i] = Interval(c, b.hi)
-        self.stats["splits"] += 1
+        self.metrics.inc("splits")
         return None
 
     def restart(self, txn: int) -> None:

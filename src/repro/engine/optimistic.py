@@ -17,13 +17,17 @@ from __future__ import annotations
 from ..model.log import Log
 from ..model.operations import Operation
 from ..core.protocol import Decision, DecisionStatus, RunResult, Scheduler
+from ..obs.instrument import Instrumented
 
 
-class OptimisticScheduler(Scheduler):
+class OptimisticScheduler(Instrumented, Scheduler):
     """Backward-validating optimistic scheduler (commit at last op)."""
 
     def __init__(self) -> None:
         self.name = "OPT"
+        self.init_observability(
+            self.name, counters=("validations", "validation_failures", "restarts")
+        )
         self.reset()
 
     def reset(self) -> None:
@@ -34,9 +38,10 @@ class OptimisticScheduler(Scheduler):
         self._committed: list[tuple[int, set[str]]] = []  # (serial, writes)
         self._remaining: dict[int, int] = {}
         self.aborted: set[int] = set()
+        self.reset_observability()
 
     # ------------------------------------------------------------------
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         txn = op.txn
         if txn not in self._start:
             self._start[txn] = self._serial
@@ -63,6 +68,7 @@ class OptimisticScheduler(Scheduler):
         """Backward validation at commit (executor hook): fails when a
         transaction committed after this one started wrote into its read or
         write set."""
+        self.metrics.inc("validations")
         reads = self._read_set.get(txn, set())
         writes = self._write_set.get(txn, set())
         for serial, committed_writes in self._committed:
@@ -70,6 +76,8 @@ class OptimisticScheduler(Scheduler):
                 continue
             if committed_writes & reads or committed_writes & writes:
                 self.aborted.add(txn)
+                self.metrics.inc("validation_failures")
+                self.events.emit("abort", txn=txn, cause="validation")
                 return False
         self._serial += 1
         self._committed.append((self._serial, set(writes)))
@@ -79,6 +87,8 @@ class OptimisticScheduler(Scheduler):
         self.aborted.discard(txn)
         for table in (self._start, self._read_set, self._write_set):
             table.pop(txn, None)
+        self.metrics.inc("restarts")
+        self.events.emit("restart", txn=txn)
 
     # ------------------------------------------------------------------
     def _plan_commits(self, log: Log) -> None:

@@ -12,11 +12,18 @@ from ..core.protocol import (
     Scheduler,
     acceptance_count,
 )
+from ..obs.instrument import Instrumented
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import EventTrace, TraceEvent
 
 __all__ = [
     "Decision",
     "DecisionStatus",
+    "EventTrace",
+    "Instrumented",
+    "MetricsRegistry",
     "RunResult",
     "Scheduler",
+    "TraceEvent",
     "acceptance_count",
 ]

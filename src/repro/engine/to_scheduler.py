@@ -20,14 +20,16 @@ from __future__ import annotations
 
 from ..model.operations import Operation
 from ..core.protocol import Decision, DecisionStatus, Scheduler
+from ..obs.instrument import Instrumented
 
 
-class ConventionalTOScheduler(Scheduler):
+class ConventionalTOScheduler(Instrumented, Scheduler):
     """Basic scalar timestamp ordering, timestamps by first operation."""
 
     def __init__(self, thomas_write_rule: bool = False) -> None:
         self.thomas_write_rule = thomas_write_rule
         self.name = "TO(scalar)" + ("+thomas" if thomas_write_rule else "")
+        self.init_observability(self.name, counters=("restarts",))
         self.reset()
 
     def reset(self) -> None:
@@ -36,6 +38,7 @@ class ConventionalTOScheduler(Scheduler):
         self._read_ts: dict[str, int] = {}
         self._write_ts: dict[str, int] = {}
         self.aborted: set[int] = set()
+        self.reset_observability()
 
     # ------------------------------------------------------------------
     def _timestamp(self, txn: int) -> int:
@@ -44,7 +47,7 @@ class ConventionalTOScheduler(Scheduler):
             self._next_ts += 1
         return self._ts[txn]
 
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         ts = self._timestamp(op.txn)
         x = op.item
         if op.kind.is_read:
@@ -70,3 +73,5 @@ class ConventionalTOScheduler(Scheduler):
         """Retry with a fresh (larger) timestamp, the classic TO restart."""
         self.aborted.discard(txn)
         self._ts.pop(txn, None)
+        self.metrics.inc("restarts")
+        self.events.emit("restart", txn=txn)

@@ -26,14 +26,16 @@ from __future__ import annotations
 from ..model.log import Log
 from ..model.operations import Operation
 from ..core.protocol import Decision, DecisionStatus, RunResult, Scheduler
+from ..obs.instrument import Instrumented
 from ..storage.locks import LockManager, LockMode, LockOutcome
 
 
-class StrictTwoPLScheduler(Scheduler):
+class StrictTwoPLScheduler(Instrumented, Scheduler):
     """Strict 2PL over database items, as an accept/reject recognizer."""
 
     def __init__(self) -> None:
         self.name = "2PL(strict)"
+        self.init_observability(self.name, counters=("restarts",))
         self.reset()
 
     def reset(self) -> None:
@@ -42,9 +44,10 @@ class StrictTwoPLScheduler(Scheduler):
         self._release_after: dict[int, int] = {}
         self._ops_seen: dict[int, int] = {}
         self._modes: dict[tuple[int, str], LockMode] = {}
+        self.reset_observability()
 
     # ------------------------------------------------------------------
-    def process(self, op: Operation) -> Decision:
+    def _process(self, op: Operation) -> Decision:
         mode = self._modes.get(
             (op.txn, op.item),
             LockMode.SHARED if op.kind.is_read else LockMode.EXCLUSIVE,
@@ -79,6 +82,8 @@ class StrictTwoPLScheduler(Scheduler):
         self.aborted.discard(txn)
         self.locks.release_all(txn)
         self._ops_seen.pop(txn, None)
+        self.metrics.inc("restarts")
+        self.events.emit("restart", txn=txn)
 
     def plan_transactions(self, transactions) -> None:
         """Executor hook: pre-declare the strongest lock mode per

@@ -1,0 +1,29 @@
+"""Observability: metrics registry, event tracing, and the bench runner.
+
+This package is the machine-readable side of the reproduction.  Every
+scheduler and the transaction executor report into a
+:class:`~repro.obs.metrics.MetricsRegistry` through the shared
+:class:`~repro.obs.instrument.Instrumented` mixin, emit structured
+:class:`~repro.obs.trace.TraceEvent` records into a ring buffer, and the
+:mod:`repro.obs.bench` runner turns seeded workload scenarios into a
+consolidated ``BENCH_repro.json`` regression baseline.
+
+The package deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.engine` at module level (only :mod:`repro.obs.bench` does,
+lazily) so the core protocol layer can depend on it without cycles.
+"""
+
+from .instrument import Instrumented
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, StatsView
+from .trace import EventTrace, TraceEvent
+
+__all__ = [
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "Instrumented",
+    "MetricsRegistry",
+    "StatsView",
+    "TraceEvent",
+]

@@ -1,0 +1,298 @@
+"""The unified benchmark runner behind ``python -m repro bench``.
+
+Executes a fixed family of seeded workload scenarios — one per protocol
+and contention regime, mirroring the pytest benches under
+``benchmarks/`` — through the :class:`~repro.engine.executor.
+TransactionExecutor` and the metrics registry, and consolidates the
+results into one machine-readable ``BENCH_repro.json``:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/v1",
+      "quick": true,
+      "scenarios": {
+        "mt3_uniform": {
+          "throughput": 104512.3,
+          "aborts": 12,
+          "restarts": 12,
+          "element_visits": 4821,
+          "wall_ms": 3.1,
+          ...
+        }
+      }
+    }
+
+Every subsequent performance PR regenerates this file and diffs it
+against the committed baseline, so "as fast as the hardware allows" has a
+trajectory instead of anecdotes.  Scheduler construction is deferred to
+call time (factories), and all randomness flows through the scenario
+seeds, so runs are reproducible bit-for-bit apart from wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+#: Version tag of the JSON schema below; bump on breaking changes.
+SCHEMA = "repro-bench/v1"
+
+#: Keys every scenario result must carry (the regression contract).
+REQUIRED_RESULT_KEYS = (
+    "throughput",
+    "aborts",
+    "restarts",
+    "element_visits",
+    "wall_ms",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible benchmark scenario.
+
+    ``factory`` builds a fresh scheduler per seed; ``spec_kwargs`` feed a
+    :class:`~repro.model.generator.WorkloadSpec`.  ``quick_seeds`` is the
+    seed count used under ``--quick`` (CI smoke), ``full_seeds`` otherwise.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[], Any]
+    spec_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    rollback: str = "full"
+    write_policy: str = "immediate"
+    max_attempts: int = 8
+    quick_seeds: int = 2
+    full_seeds: int = 10
+    #: The executor's witness is single-version DSR; multiversion
+    #: schedulers guarantee MV-serializability instead, so they opt out.
+    check_serializable: bool = True
+
+
+def _default_scenarios() -> dict[str, Scenario]:
+    # Imports are local so ``repro.obs`` stays importable without pulling
+    # the whole engine in (and to keep the package free of import cycles).
+    from ..core.composite import MTkStarScheduler
+    from ..core.mtk import MTkScheduler
+    from ..core.multiversion import MVMTkScheduler
+    from ..engine.interval import IntervalScheduler
+    from ..engine.optimistic import OptimisticScheduler
+    from ..engine.to_scheduler import ConventionalTOScheduler
+    from ..engine.two_pl_scheduler import StrictTwoPLScheduler
+
+    uniform = dict(num_txns=8, ops_per_txn=4, num_items=16, write_ratio=0.4)
+    hotspot = dict(
+        num_txns=8, ops_per_txn=4, num_items=6, write_ratio=0.5, skew=1.5
+    )
+    scenarios = [
+        Scenario(
+            "mt1_uniform",
+            "MT(1) — conventional TO equivalent, moderate contention",
+            lambda: MTkScheduler(1),
+            uniform,
+        ),
+        Scenario(
+            "mt3_uniform",
+            "MT(3) on the same uniform stream (bench_throughput)",
+            lambda: MTkScheduler(3),
+            uniform,
+        ),
+        Scenario(
+            "mt3_hotspot",
+            "MT(3) under skewed hot-item contention (III-D-5 regime)",
+            lambda: MTkScheduler(3),
+            hotspot,
+        ),
+        Scenario(
+            "mt3_antistarvation",
+            "MT(3) with the III-D-4 starvation remedy on the hotspot",
+            lambda: MTkScheduler(3, anti_starvation=True),
+            hotspot,
+        ),
+        Scenario(
+            "mt3_partial_rollback",
+            "MT(3) with VI-C 1 partial rollback (bench_rollback)",
+            lambda: MTkScheduler(3, partial_rollback=True),
+            hotspot,
+            rollback="partial",
+        ),
+        Scenario(
+            "mtstar3_uniform",
+            "composite MT(3*) recognizing TO(1)|TO(2)|TO(3)",
+            lambda: MTkStarScheduler(3),
+            uniform,
+        ),
+        Scenario(
+            "mvmt3_uniform",
+            "multiversion MT(3): abort-free reads (III-D-6d)",
+            lambda: MVMTkScheduler(3),
+            uniform,
+            check_serializable=False,
+        ),
+        Scenario(
+            "two_pl_uniform",
+            "strict two-phase locking baseline",
+            lambda: StrictTwoPLScheduler(),
+            uniform,
+        ),
+        Scenario(
+            "to_uniform",
+            "conventional scalar timestamp ordering baseline",
+            lambda: ConventionalTOScheduler(),
+            uniform,
+        ),
+        Scenario(
+            "optimistic_uniform",
+            "Kung-Robinson style backward validation baseline",
+            lambda: OptimisticScheduler(),
+            uniform,
+            # Backward validation is only sound when writes land after
+            # validation; immediate writes let a read-before-write
+            # anti-dependency against an earlier committer slip through.
+            write_policy="deferred",
+        ),
+        Scenario(
+            "interval_hotspot",
+            "Bayer-style timestamp intervals under contention (VI-A)",
+            lambda: IntervalScheduler(),
+            hotspot,
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+#: Lazily built on first use (avoids engine imports at module load).
+_SCENARIOS: dict[str, Scenario] | None = None
+
+
+def scenarios() -> dict[str, Scenario]:
+    global _SCENARIOS
+    if _SCENARIOS is None:
+        _SCENARIOS = _default_scenarios()
+    return _SCENARIOS
+
+
+def _element_visits(scheduler: Any) -> int:
+    """Definition 6 comparison cost, wherever the scheduler keeps tables."""
+    table = getattr(scheduler, "table", None)
+    if table is not None and hasattr(table, "element_visits"):
+        return table.element_visits
+    tables = getattr(scheduler, "tables", None)
+    if tables:
+        return sum(t.element_visits for t in tables)
+    return 0
+
+
+def run_scenario(scenario: Scenario, quick: bool = False) -> dict[str, Any]:
+    """Execute one scenario across its seeds; returns the result record."""
+    import random
+
+    from ..engine.executor import TransactionExecutor
+    from ..model.generator import WorkloadSpec, generate_transactions
+
+    spec = WorkloadSpec(**dict(scenario.spec_kwargs))
+    seeds = range(scenario.quick_seeds if quick else scenario.full_seeds)
+    totals = {
+        "aborts": 0,
+        "restarts": 0,
+        "element_visits": 0,
+        "ops_executed": 0,
+        "undo_ops": 0,
+        "ignored_writes": 0,
+        "committed": 0,
+        "failed": 0,
+    }
+    wall_s = 0.0
+    for seed in seeds:
+        transactions = generate_transactions(spec, random.Random(seed))
+        scheduler = scenario.factory()
+        executor = TransactionExecutor(
+            scheduler,
+            max_attempts=scenario.max_attempts,
+            rollback=scenario.rollback,
+            write_policy=scenario.write_policy,
+        )
+        start = time.perf_counter()
+        report = executor.execute(transactions, seed=seed)
+        wall_s += time.perf_counter() - start
+        if scenario.check_serializable and not report.is_serializable():
+            raise AssertionError(  # pragma: no cover - Theorem 2 guard
+                f"{scenario.name}: committed projection not serializable"
+            )
+        # Counted executor-side: the composite's global restart resets the
+        # scheduler (and its "rejected" counter) mid-run.
+        totals["aborts"] += executor.stats.get("aborts", 0)
+        totals["restarts"] += report.restarts
+        totals["element_visits"] += _element_visits(scheduler)
+        totals["ops_executed"] += report.ops_executed
+        totals["undo_ops"] += report.undo_count
+        totals["ignored_writes"] += report.ignored_writes
+        totals["committed"] += len(report.committed)
+        totals["failed"] += len(report.failed)
+    result: dict[str, Any] = {
+        "description": scenario.description,
+        "seeds": len(seeds),
+        "throughput": round(totals["ops_executed"] / wall_s, 1)
+        if wall_s > 0
+        else 0.0,
+        "wall_ms": round(wall_s * 1000.0, 3),
+        **totals,
+    }
+    return result
+
+
+def run_bench(
+    quick: bool = False,
+    only: Sequence[str] | None = None,
+    out: str | Path | None = "BENCH_repro.json",
+) -> dict[str, Any]:
+    """Run the scenario family and write the consolidated JSON.
+
+    ``only`` filters scenario names; ``out=None`` skips writing.  Returns
+    the payload either way.
+    """
+    table = scenarios()
+    selected = list(only) if only else sorted(table)
+    unknown = [name for name in selected if name not in table]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {unknown}; available: {sorted(table)}"
+        )
+    results = {
+        name: run_scenario(table[name], quick=quick) for name in selected
+    }
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "scenarios": results,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def validate_payload(payload: Mapping[str, Any]) -> list[str]:
+    """Schema check for a ``BENCH_repro.json`` payload; returns the list
+    of problems (empty means valid).  Used by tests and CI smoke."""
+    problems: list[str] = []
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema != {SCHEMA!r}")
+    scenario_map = payload.get("scenarios")
+    if not isinstance(scenario_map, Mapping) or not scenario_map:
+        return problems + ["scenarios missing or empty"]
+    for name, result in scenario_map.items():
+        for key in REQUIRED_RESULT_KEYS:
+            if key not in result:
+                problems.append(f"{name}: missing {key}")
+                continue
+            value = result[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name}: {key} not a non-negative number")
+    return problems

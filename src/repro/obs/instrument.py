@@ -1,0 +1,83 @@
+"""The ``Instrumented`` mixin: one uniform observability surface.
+
+Every scheduler (and the transaction executor) mixes this in instead of
+growing its own ``self.stats`` dict.  The mixin owns
+
+* ``self.metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`,
+* ``self.events`` — an :class:`~repro.obs.trace.EventTrace` ring buffer,
+* ``self.stats``  — the registry's live counter view, preserving the
+  historical dict API (``scheduler.stats["accepted"]``) unchanged.
+
+For schedulers, :class:`~repro.core.protocol.Scheduler.process` is a
+template method that calls ``_observe(decision)`` after the subclass's
+``_process``; the mixin's ``_observe`` counts the decision into the
+``accepted``/``ignored``/``rejected`` counters and emits one ``decision``
+trace event.  This module intentionally imports nothing from
+:mod:`repro.core` (it duck-types on ``decision.status.value``) so the core
+can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry, StatsView
+from .trace import EventTrace
+
+#: DecisionStatus.value -> counter name (kept in sync with
+#: repro.core.protocol.DecisionStatus by a test, not an import).
+DECISION_COUNTERS = {
+    "accept": "accepted",
+    "ignore": "ignored",
+    "reject": "rejected",
+}
+
+
+class Instrumented:
+    """Mixin giving a component a metrics registry + event trace."""
+
+    metrics: MetricsRegistry
+    events: EventTrace
+
+    def init_observability(
+        self,
+        namespace: str,
+        counters: tuple[str, ...] = (),
+        trace_capacity: int = 4096,
+    ) -> None:
+        """Create the registry and ring buffer.  Call once from
+        ``__init__`` *before* the first ``reset()``."""
+        self.metrics = MetricsRegistry(namespace)
+        self.metrics.declare_counters(*DECISION_COUNTERS.values())
+        self.metrics.declare_counters(*counters)
+        self.events = EventTrace(capacity=trace_capacity)
+
+    def reset_observability(self) -> None:
+        """Zero metrics and drop buffered events (scheduler ``reset()``)."""
+        self.metrics.reset()
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatsView:
+        """Live counter view — the historical ``stats`` dict API."""
+        return self.metrics.stats
+
+    # ------------------------------------------------------------------
+    def _observe(self, decision: Any) -> None:
+        """Template-method hook: account one scheduling decision."""
+        self.metrics.inc(DECISION_COUNTERS[decision.status.value])
+        op = decision.op
+        self.events.emit(
+            "decision",
+            txn=op.txn,
+            item=op.item,
+            op=str(op),
+            status=decision.status.value,
+            reason=decision.reason,
+        )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """JSON-serializable registry dump; subclasses refresh derived
+        gauges (table size, element visits) before delegating here."""
+        return self.metrics.snapshot()

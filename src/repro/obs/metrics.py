@@ -1,0 +1,243 @@
+"""A small process-local metrics registry: counters, gauges, histograms.
+
+The registry replaces the ad-hoc ``self.stats`` dicts that each scheduler
+used to grow independently.  Design points:
+
+* **Declared names.**  Components declare their counters up front (so a
+  snapshot always carries every key at zero rather than omitting untouched
+  ones — the property tests and the JSON bench schema rely on stable keys).
+  Undeclared names are created on first use all the same; declaration is
+  about completeness, not access control.
+* **Resettable.**  ``reset()`` zeroes values but keeps the declared names,
+  matching scheduler ``reset()`` semantics (one registry per component,
+  fresh numbers per log/run).
+* **Dict compatibility.**  :class:`StatsView` is a live mutable mapping
+  over the counters so the long-standing ``scheduler.stats["accepted"]``
+  read pattern (tests, benches, examples) keeps working unchanged.
+
+No third-party dependencies; values are plain ints/floats and
+``snapshot()`` is directly JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import MutableMapping
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self._value += amount
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time numeric metric (table size, current k, ...)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max/mean).
+
+    Keeps O(1) state, not the samples themselves — enough for wall-clock
+    phase timings and batch-size distributions without memory concerns.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class StatsView(MutableMapping):
+    """Live dict-like view over a registry's counters.
+
+    Preserves the historical ``scheduler.stats`` API: reads return current
+    counter values, writes set them (used by nothing new — compatibility
+    only).  Iteration order follows counter declaration order.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> int:
+        return self._registry.counter(name).value
+
+    def __setitem__(self, name: str, value: int) -> None:
+        counter = self._registry.counter(name)
+        counter.reset()
+        counter.inc(int(value))
+
+    def __delitem__(self, name: str) -> None:
+        raise TypeError("counters cannot be deleted; reset() zeroes them")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry._counters)
+
+    def __len__(self) -> int:
+        return len(self._registry._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
+class MetricsRegistry:
+    """Registry of named counters/gauges/histograms for one component."""
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Creation / lookup (create-or-get, so call sites stay one-liners)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def declare_counters(self, *names: str) -> None:
+        for name in names:
+            self.counter(name)
+
+    # ------------------------------------------------------------------
+    # Convenience mutators
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> int:
+        return self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    @contextmanager
+    def timer(self, phase: str):
+        """Time a phase's wall clock into the ``wall_ms.<phase>`` histogram."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.observe(f"wall_ms.{phase}", elapsed_ms)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / export
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every metric, keeping the declared names."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for metric in group.values():
+                metric.reset()
+
+    @property
+    def stats(self) -> StatsView:
+        return StatsView(self)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serializable dump of everything in the registry."""
+        return {
+            "namespace": self.namespace,
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: h.summary() for n, h in self._histograms.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry {self.namespace!r}: "
+            f"{len(self._counters)} counters, {len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms>"
+        )

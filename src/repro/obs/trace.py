@@ -1,0 +1,133 @@
+"""Structured event tracing: one record per scheduling decision/abort/
+restart/encode, ring-buffered, dumpable as JSONL.
+
+This subsumes the older ``trace=True`` per-operation table-snapshot hack:
+instead of a parallel list of full table snapshots, every interesting
+transition emits one :class:`TraceEvent` carrying just what changed.  The
+Tables I-III style replays fall out of filtering the event stream; the
+vector-clock-trace style analyses of related work (Mathur & Viswanathan)
+consume exactly this kind of record.
+
+The buffer is a fixed-capacity ring (``collections.deque``), so tracing is
+always on without unbounded memory growth; capacity 0 disables retention
+entirely (emission becomes a cheap no-op) for hot benchmarking loops.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observation from a scheduler or executor.
+
+    ``kind`` is a small vocabulary: ``decision``, ``abort``, ``restart``,
+    ``encode``, ``commit``, ``global_restart``, ``adapt`` — components may
+    add their own, the schema is open.
+    """
+
+    seq: int
+    kind: str
+    txn: int | None = None
+    item: str | None = None
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"seq": self.seq, "kind": self.kind}
+        if self.txn is not None:
+            record["txn"] = self.txn
+        if self.item is not None:
+            record["item"] = self.item
+        if self.detail:
+            record["detail"] = dict(self.detail)
+        return record
+
+    def to_json(self) -> str:
+        # default=str: timestamp elements may be (counter, site) tuples or
+        # other non-JSON scalars; a readable rendering beats a crash.
+        return json.dumps(self.to_dict(), default=str, sort_keys=False)
+
+
+class EventTrace:
+    """Fixed-capacity ring buffer of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        txn: int | None = None,
+        item: str | None = None,
+        **detail: Any,
+    ) -> TraceEvent | None:
+        """Record one event; returns it (or ``None`` when retention is off).
+
+        ``seq`` numbers every emission monotonically even after older
+        events have been evicted from the ring, so dumps expose gaps
+        honestly.
+        """
+        self._seq += 1
+        if self.capacity == 0:
+            return None
+        event = TraceEvent(self._seq, kind, txn, item, detail)
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total emissions ever, including evicted ones."""
+        return self._seq
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Buffered events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def last(self, kind: str | None = None) -> TraceEvent | None:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The buffered events as one JSON object per line."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    def dump(self, path) -> int:
+        """Write the buffer as JSONL to *path*; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EventTrace {len(self._events)}/{self.capacity} buffered, "
+            f"{self._seq} emitted>"
+        )

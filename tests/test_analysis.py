@@ -38,17 +38,20 @@ class TestConcurrencyHarness:
         for sub in subs:
             assert matrix[(sub.name, star.name)]  # sub subset-of star
 
-    def test_mt1_observed_subset_of_conventional_to(self):
-        """Definition 3 adds the read-read condition iv), making TO(1)
-        *more* restrictive than conventional scalar TO (which only orders
-        conflicts): every MT(1)-accepted log passes the scalar scheduler."""
+    def test_mt1_observed_equal_to_conventional_to(self):
+        """MT(1) reduces to conventional single-timestamp ordering (the
+        paper's TO(1)): on a random stream the two schedulers accept
+        exactly the same logs.  (An earlier version of this test asserted
+        *strict* containment, but the separating logs were all artifacts
+        of a bug that rejected a transaction reading its own most recent
+        write; with that fixed, the lines 9-10 fallback also neutralizes
+        the read-read condition iv) for k = 1, and the classes coincide.)"""
         logs = _stream(count=400, seed=3)
         matrix = containment_matrix(
             [MTkScheduler(1), ConventionalTOScheduler()], logs
         )
         assert matrix[("MT(1)", "TO(scalar)")]
-        # And the containment is strict on this stream.
-        assert not matrix[("TO(scalar)", "MT(1)")]
+        assert matrix[("TO(scalar)", "MT(1)")]
 
     def test_acceptance_by_dimension_saturates(self):
         spec = WorkloadSpec(

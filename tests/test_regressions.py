@@ -1,0 +1,134 @@
+"""Regression tests for three confirmed scheduler bugs.
+
+Each test reproduces the exact failure that was observed before the fix;
+see DESIGN.md ("implementation notes") for the analysis.
+"""
+
+import pytest
+
+from repro.core.distributed import DMTkScheduler
+from repro.core.mtk import MTkScheduler
+from repro.core.table import NormalEncoding, OptimizedEncoding
+from repro.core.timestamp import (
+    Counters,
+    Ordering,
+    SiteTaggedCounters,
+    TimestampVector,
+    UNDEFINED,
+    compare,
+)
+from repro.model.log import Log
+
+
+class TestResetWithSiteTaggedCounters:
+    """Bug 1: ``MTkScheduler.reset()`` rebuilt counters with a bare
+    ``type(counters)()``, which raised ``TypeError`` for
+    :class:`SiteTaggedCounters` (the required ``site`` argument was
+    dropped)."""
+
+    def test_reset_preserves_site(self):
+        scheduler = MTkScheduler(2, counters=SiteTaggedCounters(site=7))
+        scheduler.reset()  # regression: raised TypeError before the fix
+        scheduler.reset()
+        assert scheduler.table.counters.site == 7
+        # The rebuilt counters still mint (counter, site) pairs.
+        value = scheduler.table.counters.fresh_upper()
+        assert value[1] == 7
+
+    def test_reset_preserves_initial_counter_state(self):
+        counters = SiteTaggedCounters(site=3, lcount=-5, ucount=9)
+        scheduler = MTkScheduler(2, counters=counters)
+        scheduler.run(Log.parse("W1[x] R2[x]"))
+        scheduler.reset()
+        rebuilt = scheduler.table.counters
+        assert rebuilt is not counters  # a pristine copy, not the used one
+        assert rebuilt.site == 3
+        assert rebuilt.fresh_upper() == (9, 3)
+
+    def test_distributed_scheduler_reusable_across_logs(self):
+        # The real-world path: DMT(k) sites run with site-tagged counters
+        # and are reset between logs by accepts()/run().
+        scheduler = DMTkScheduler(2, num_sites=2)
+        log = Log.parse("W1[x] R2[x] W2[y]")
+        first = scheduler.run(log)
+        second = scheduler.run(log)
+        assert first.accepted == second.accepted
+
+
+class TestReadOwnWrite:
+    """Bug 2: under the lines 9-10 fallback a transaction reading its OWN
+    most recent write was rejected — ``compare(TS(WT(x)), TS(i))`` yields
+    IDENTICAL (the vectors are the same object), never LESS."""
+
+    # T1 writes x; T2's read orders TS(1) < TS(2) and leaves RT(x) = 2;
+    # T1 then rereads its own write while TS(RT(x)) > TS(1).
+    LOG = Log.parse("W1[x] R2[x] R1[x]")
+
+    @pytest.mark.parametrize("read_rule", ["line9", "relaxed"])
+    def test_rereading_own_write_accepted(self, read_rule):
+        scheduler = MTkScheduler(2, read_rule=read_rule)
+        result = scheduler.run(self.LOG)
+        assert result.accepted, [str(d) for d in result.decisions]
+        assert result.decisions[-1].reason == "read-own-write"
+
+    def test_strict_rule_unaffected(self):
+        # read_rule="none" disables the whole fallback; the reread is
+        # still rejected there by design, not by the bug.
+        scheduler = MTkScheduler(2, read_rule="none")
+        assert not scheduler.run(self.LOG).accepted
+
+
+class TestOptimizedEncodingHoles:
+    """Bug 3: ``OptimizedEncoding.encode_semi`` crashed with "element
+    already defined" when the shorter vector held *holes* — defined
+    elements inside the prefix-copy range (k-th-column counter draws land
+    there before the prefix fills in)."""
+
+    @staticmethod
+    def _encoding():
+        return OptimizedEncoding(is_hot=lambda item: True)
+
+    def test_mismatching_hole_falls_back(self):
+        # Copy range is positions 1..3; the shorter vector already holds 7
+        # at position 2 where the longer holds 3.  Before the fix this
+        # raised; now the normal rule applies untouched.
+        ts_j = TimestampVector(4, [UNDEFINED, 7, UNDEFINED, UNDEFINED])
+        ts_i = TimestampVector(4, [1, 3, 1, UNDEFINED])
+        self._encoding().encode_semi(ts_j, ts_i, 1, Counters(), "x")
+        assert compare(ts_j, ts_i).ordering is Ordering.LESS
+        assert ts_j.get(1) == 0  # the NormalEncoding adjacent value
+        assert ts_j.get(2) == 7  # the hole was never overwritten
+
+    def test_matching_hole_is_skipped(self):
+        # The hole matches the longer vector: the copy skips it and the
+        # order lands in the first position past the shared prefix.
+        ts_j = TimestampVector(4, [UNDEFINED, 3, UNDEFINED, UNDEFINED])
+        ts_i = TimestampVector(4, [1, 3, 1, UNDEFINED])
+        self._encoding().encode_semi(ts_j, ts_i, 1, Counters(), "x")
+        assert [ts_j.get(p) for p in (1, 2, 3)] == [1, 3, 1]
+        comparison = compare(ts_j, ts_i)
+        assert comparison.ordering is Ordering.LESS
+        assert comparison.position == 4  # encoded at the landing position
+
+    def test_taken_landing_position_falls_back(self):
+        # The landing position after the shared prefix is already defined
+        # on the shorter side; the copy would have nowhere to encode the
+        # order, so the normal rule applies.
+        ts_j = TimestampVector(4, [UNDEFINED, 3, 1, 5])
+        ts_i = TimestampVector(4, [1, 3, 1, UNDEFINED])
+        self._encoding().encode_semi(ts_j, ts_i, 1, Counters(), "x")
+        assert compare(ts_j, ts_i).ordering is Ordering.LESS
+        assert ts_j.get(1) == 0
+        assert ts_j.get(4) == 5
+
+    def test_matches_normal_encoding_on_cold_items(self):
+        ts_cold_j = TimestampVector(3)
+        ts_cold_i = TimestampVector(3, [4, UNDEFINED, UNDEFINED])
+        ts_norm_j = TimestampVector(3)
+        ts_norm_i = TimestampVector(3, [4, UNDEFINED, UNDEFINED])
+        OptimizedEncoding(is_hot=lambda item: False).encode_semi(
+            ts_cold_j, ts_cold_i, 1, Counters(), "x"
+        )
+        NormalEncoding().encode_semi(ts_norm_j, ts_norm_i, 1, Counters(), "x")
+        assert ts_cold_j.snapshot() == ts_norm_j.snapshot()
+        assert ts_cold_i.snapshot() == ts_norm_i.snapshot()
