@@ -11,8 +11,10 @@ Commands
     Run the Fig. 4 region census over small two-step systems.
 ``protocols``
     List the available protocols and their options.
-``bench [--quick] [--scenario NAME ...] [--out PATH]``
-    Run the consolidated benchmark scenarios and write ``BENCH_repro.json``.
+``bench [--quick] [--scenario NAME ...] [--out PATH] [--jobs N] [--profile]``
+    Run the consolidated benchmark scenarios and write ``BENCH_repro.json``;
+    ``--jobs`` fans scenario×seed cells over a process pool, ``--profile``
+    attaches cProfile hotspot breakdowns.
 """
 
 from __future__ import annotations
@@ -149,6 +151,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             only=args.scenario or None,
             out=args.out,
+            jobs=args.jobs,
+            profile=args.profile,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
@@ -172,6 +176,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title=f"bench ({'quick' if args.quick else 'full'} mode)",
         )
     )
+    if args.profile:
+        for name in sorted(payload["scenarios"]):
+            hotspots = payload["scenarios"][name].get("profile", [])
+            if not hotspots:
+                continue
+            print(f"\nhotspots: {name}")
+            for row in hotspots:
+                print(
+                    f"  {row['tottime_ms']:9.3f}ms "
+                    f"{row['calls']:>8} calls  {row['function']}"
+                )
     if args.out:
         print(f"wrote {args.out}")
     if problems:
@@ -232,6 +247,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_repro.json",
         help="output path (default: BENCH_repro.json)",
+    )
+    p_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan scenario×seed cells out over N worker processes",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach per-scenario cProfile hotspot breakdowns to the JSON",
     )
     p_bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"

@@ -60,12 +60,14 @@ class MTkStarScheduler(Instrumented, Scheduler):
     # ------------------------------------------------------------------
     def reset(self) -> None:
         # PREFIX has k-1 columns, LASTCOL has k columns (1-based access).
-        self._prefix: dict[int, list[Element]] = {}
-        self._lastcol: dict[int, list[Element]] = {}
+        # Rows live in dense txn-id-indexed slabs (ids are small consecutive
+        # integers); a slot is None until the transaction is first seen.
+        self._prefix: list[list[Element] | None] = [
+            [UNDEFINED] * (self.k - 1)
+        ]
+        self._lastcol: list[list[Element] | None] = [[UNDEFINED] * self.k]
         # The virtual T0's vector is <0, *, ..., *> under every subprotocol:
         # element 1 is PREFIX(1) for MT(2).. and LASTCOL(1) for MT(1).
-        self._prefix[VIRTUAL_TXN] = [UNDEFINED] * (self.k - 1)
-        self._lastcol[VIRTUAL_TXN] = [UNDEFINED] * self.k
         if self.k > 1:
             self._prefix[VIRTUAL_TXN][0] = 0
         self._lastcol[VIRTUAL_TXN][0] = 0
@@ -83,10 +85,16 @@ class MTkStarScheduler(Instrumented, Scheduler):
     # Row access helpers
     # ------------------------------------------------------------------
     def _rows(self, txn: int) -> tuple[list[Element], list[Element]]:
-        if txn not in self._prefix:
-            self._prefix[txn] = [UNDEFINED] * (self.k - 1)
+        prefix = self._prefix
+        if txn >= len(prefix):
+            grow = txn + 1 - len(prefix)
+            prefix.extend([None] * grow)
+            self._lastcol.extend([None] * grow)
+        row = prefix[txn]
+        if row is None:
+            row = prefix[txn] = [UNDEFINED] * (self.k - 1)
             self._lastcol[txn] = [UNDEFINED] * self.k
-        return self._prefix[txn], self._lastcol[txn]
+        return row, self._lastcol[txn]
 
     def surviving_protocols(self) -> list[int]:
         """Dimensions ``h`` whose subprotocol MT(h) is still running."""
@@ -121,7 +129,8 @@ class MTkStarScheduler(Instrumented, Scheduler):
             return Decision(DecisionStatus.ACCEPT, op)
         # Step 4 i): every subprotocol has stopped — abort all and rollback.
         self.failed = True
-        self.events.emit("global_restart", txn=i, item=x)
+        if self.events.enabled:
+            self.events.emit("global_restart", txn=i, item=x)
         return Decision(
             DecisionStatus.REJECT,
             op,
@@ -182,7 +191,8 @@ class MTkStarScheduler(Instrumented, Scheduler):
             if a > b:  # case ii: contradiction — stop MT(h)
                 self.active[h - 1] = False
                 self.metrics.inc("stopped_subprotocols")
-                self.events.emit("subprotocol_stop", h=h, cause="lastcol")
+                if self.events.enabled:
+                    self.events.emit("subprotocol_stop", h=h, cause="lastcol")
             # a < b: case iii "has been encoded" — nothing to do.  a == b is
             # impossible: defined values in a LASTCOL column are distinct.
         elif a is UNDEFINED and b is UNDEFINED:
@@ -198,7 +208,8 @@ class MTkStarScheduler(Instrumented, Scheduler):
             if self.active[h - 1]:
                 self.active[h - 1] = False
                 self.metrics.inc("stopped_subprotocols")
-                self.events.emit("subprotocol_stop", h=h, cause="prefix")
+                if self.events.enabled:
+                    self.events.emit("subprotocol_stop", h=h, cause="prefix")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,6 +219,7 @@ class MTkStarScheduler(Instrumented, Scheduler):
         if not self.trace:
             return None
         return {
-            txn: tuple(self._prefix[txn]) + tuple(self._lastcol[txn])
-            for txn in sorted(self._prefix)
+            txn: tuple(prefix) + tuple(self._lastcol[txn])
+            for txn, prefix in enumerate(self._prefix)
+            if prefix is not None
         }

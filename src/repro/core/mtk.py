@@ -36,10 +36,15 @@ import copy
 from typing import Any, Mapping
 
 from ..model.dependency import DependencyGraph
-from ..model.operations import Operation
+from ..model.operations import Operation, OpKind
 from ..obs.instrument import Instrumented
 from .protocol import Decision, DecisionStatus, Scheduler
-from .table import EncodingPolicy, TimestampTable, VIRTUAL_TXN
+from .table import (
+    DEFAULT_COMPARE_CACHE,
+    EncodingPolicy,
+    TimestampTable,
+    VIRTUAL_TXN,
+)
 from .timestamp import Counters, Ordering, TimestampVector, UNDEFINED, compare
 
 
@@ -59,12 +64,17 @@ class MTkScheduler(Instrumented, Scheduler):
         encoding: EncodingPolicy | None = None,
         counters: Counters | None = None,
         trace: bool = False,
+        compare_cache: int = DEFAULT_COMPARE_CACHE,
     ) -> None:
         if k < 1:
             raise ValueError("vector size k must be at least 1")
         if read_rule not in self.READ_RULES:
             raise ValueError(f"read_rule must be one of {self.READ_RULES}")
         self.k = k
+        #: bound of the table's Definition 6 comparison cache; 0 disables
+        #: it (decisions are identical either way — see the decision-
+        #: equivalence property test).
+        self.compare_cache = compare_cache
         self.read_rule = read_rule
         self.thomas_write_rule = thomas_write_rule
         self.anti_starvation = anti_starvation
@@ -86,6 +96,11 @@ class MTkScheduler(Instrumented, Scheduler):
         self.init_observability(
             self.name, counters=("set_calls", "encodings", "restarts")
         )
+        # Pre-bound Counter objects for the per-operation hot path (the
+        # registry zeroes counters in place on reset, so these stay live).
+        self._c_set_calls = self.metrics.counter("set_calls")
+        self._c_encodings = self.metrics.counter("encodings")
+        self._c_restarts = self.metrics.counter("restarts")
         self.reset()
 
     # ------------------------------------------------------------------
@@ -100,7 +115,12 @@ class MTkScheduler(Instrumented, Scheduler):
                 else None
             )
         self._first_reset = False
-        self.table = TimestampTable(self.k, counters=counters, encoding=self._encoding)
+        self.table = TimestampTable(
+            self.k,
+            counters=counters,
+            encoding=self._encoding,
+            cache_size=self.compare_cache,
+        )
         self.aborted: set[int] = set()
         self.committed: set[int] = set()
         self._readers: dict[str, list[int]] = {}
@@ -124,14 +144,13 @@ class MTkScheduler(Instrumented, Scheduler):
             raise ValueError(
                 f"T{op.txn} is aborted; call restart() before reissuing"
             )
-        if op.kind.is_read:
+        if op.kind is OpKind.READ:
             return self._process_read(op)
         return self._process_write(op)
 
     def _process_read(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
-        j = self.table.latest_accessor(x)
-        outcome = self._set_less(j, i, x)
+        j, outcome = self._order_after_latest(i, x)
         if outcome.ok:
             self.table.set_rt(x, i)
             self._record_access(op)
@@ -156,7 +175,7 @@ class MTkScheduler(Instrumented, Scheduler):
             else:
                 ts_wt = self.table.vector(wt)
                 ts_i = self.table.vector(i)
-                if compare(ts_wt, ts_i).ordering is Ordering.LESS:
+                if self.table.compare_vectors(ts_wt, ts_i).ordering is Ordering.LESS:
                     self._record_access(op)
                     return Decision(
                         DecisionStatus.ACCEPT, op, "read-below-latest-reader"
@@ -165,8 +184,7 @@ class MTkScheduler(Instrumented, Scheduler):
 
     def _process_write(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
-        j = self.table.latest_accessor(x)
-        outcome = self._set_less(j, i, x)
+        j, outcome = self._order_after_latest(i, x)
         if outcome.ok:
             self.table.set_wt(x, i)
             self._record_access(op)
@@ -177,10 +195,12 @@ class MTkScheduler(Instrumented, Scheduler):
             rt, wt = self.table.rt(x), self.table.wt(x)
             ts_i = self.table.vector(i)
             below_writer = (
-                compare(ts_i, self.table.vector(wt)).ordering is Ordering.LESS
+                self.table.compare_vectors(ts_i, self.table.vector(wt)).ordering
+                is Ordering.LESS
             )
             above_reader = (
-                compare(self.table.vector(rt), ts_i).ordering is Ordering.LESS
+                self.table.compare_vectors(self.table.vector(rt), ts_i).ordering
+                is Ordering.LESS
             )
             if below_writer and above_reader:
                 return Decision(
@@ -191,27 +211,69 @@ class MTkScheduler(Instrumented, Scheduler):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _order_after_latest(self, i: int, item: str):
+        """Fused lines 5-6 + ``Set(j, i)`` with the same accounting as
+        :meth:`_set_less`; returns ``(j, outcome)``."""
+        self._c_set_calls.inc()
+        j, outcome = self.table.order_after_latest(item, i)
+        if outcome.encoded:
+            self._c_encodings.inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "encode",
+                    txn=i,
+                    item=item,
+                    predecessor=j,
+                    case=outcome.comparison.ordering.value,
+                    position=outcome.comparison.position,
+                )
+        if outcome.ok and j != i:
+            successors = self._successors.get(j)
+            if successors is None:
+                self._successors[j] = {i}
+            else:
+                successors.add(i)
+        return j, outcome
+
     def _set_less(self, j: int, i: int, item: str):
-        self.metrics.inc("set_calls")
+        self._c_set_calls.inc()
         outcome = self.table.set_less(j, i, item)
         if outcome.encoded:
-            self.metrics.inc("encodings")
-            self.events.emit(
-                "encode",
-                txn=i,
-                item=item,
-                predecessor=j,
-                case=outcome.comparison.ordering.value,
-                position=outcome.comparison.position,
-            )
+            self._c_encodings.inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "encode",
+                    txn=i,
+                    item=item,
+                    predecessor=j,
+                    case=outcome.comparison.ordering.value,
+                    position=outcome.comparison.position,
+                )
         if outcome.ok and j != i:
-            self._successors.setdefault(j, set()).add(i)
+            successors = self._successors.get(j)
+            if successors is None:
+                self._successors[j] = {i}
+            else:
+                successors.add(i)
         return outcome
 
     def _record_access(self, op: Operation) -> None:
-        history = self._readers if op.kind.is_read else self._writers
-        history.setdefault(op.item, []).append(op.txn)
-        self._touched.setdefault(op.txn, set()).add(op.item)
+        # dict.get + explicit insert instead of setdefault: setdefault
+        # allocates a fresh empty container on every call just to discard
+        # it, and this runs once per accepted operation.
+        history = (
+            self._readers if op.kind is OpKind.READ else self._writers
+        )
+        entries = history.get(op.item)
+        if entries is None:
+            history[op.item] = [op.txn]
+        else:
+            entries.append(op.txn)
+        touched = self._touched.get(op.txn)
+        if touched is None:
+            self._touched[op.txn] = {op.item}
+        else:
+            touched.add(op.item)
 
     def _abort(self, op: Operation, blocking: int) -> Decision:
         i = op.txn
@@ -226,14 +288,15 @@ class MTkScheduler(Instrumented, Scheduler):
             self.partial_ok.add(i)
         else:
             self._undo_indices(i)
-        self.events.emit(
-            "abort",
-            txn=i,
-            item=op.item,
-            blocking=blocking,
-            partial=preserve,
-            reseeded=i in self._seeded,
-        )
+        if self.events.enabled:
+            self.events.emit(
+                "abort",
+                txn=i,
+                item=op.item,
+                blocking=blocking,
+                partial=preserve,
+                reseeded=i in self._seeded,
+            )
         return Decision(
             DecisionStatus.REJECT,
             op,
@@ -258,24 +321,32 @@ class MTkScheduler(Instrumented, Scheduler):
         (matching the paper's definition of the most recent read/write
         timestamp).
         """
-        for item in self._touched.pop(txn, set()):
-            readers = self._readers.get(item, [])
-            readers[:] = [t for t in readers if t != txn]
-            writers = self._writers.get(item, [])
-            writers[:] = [t for t in writers if t != txn]
+        touched = self._touched.pop(txn, None)
+        if not touched:
+            return
+        for item in touched:
+            readers = self._readers.get(item)
+            if readers and txn in readers:
+                readers[:] = [t for t in readers if t != txn]
+            writers = self._writers.get(item)
+            if writers and txn in writers:
+                writers[:] = [t for t in writers if t != txn]
             if self.table.rt(item) == txn:
-                self.table.set_rt(item, self._maximal(readers))
+                self.table.set_rt(item, self._maximal(readers or []))
             if self.table.wt(item) == txn:
-                self.table.set_wt(item, self._maximal(writers))
+                self.table.set_wt(item, self._maximal(writers or []))
 
     def _maximal(self, candidates: list[int]) -> int:
         """The candidate holding a maximal vector (``T_0`` if none)."""
         best = VIRTUAL_TXN
         for txn in candidates:
-            ordering = compare(
+            if best == VIRTUAL_TXN:
+                best = txn  # any candidate beats T0; no comparison needed
+                continue
+            ordering = self.table.compare_vectors(
                 self.table.vector(best), self.table.vector(txn)
             ).ordering
-            if best == VIRTUAL_TXN or ordering is Ordering.LESS:
+            if ordering is Ordering.LESS:
                 best = txn
         return best
 
@@ -296,8 +367,9 @@ class MTkScheduler(Instrumented, Scheduler):
             self._seeded.discard(txn)
         else:
             self.table.vector(txn).flush()
-        self.metrics.inc("restarts")
-        self.events.emit("restart", txn=txn)
+        self._c_restarts.inc()
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn)
 
     def commit(self, txn: int) -> None:
         """Mark a transaction finished (storage for its row may be reclaimed
@@ -362,6 +434,9 @@ class MTkScheduler(Instrumented, Scheduler):
         """Registry dump with the derived gauges refreshed first."""
         self.metrics.set_gauge("table_size", self.table_size)
         self.metrics.set_gauge("element_visits", self.table.element_visits)
+        cache = self.table.cache_info()
+        self.metrics.set_gauge("compare_cache_hits", cache["hits"])
+        self.metrics.set_gauge("compare_cache_misses", cache["misses"])
         return super().metrics_snapshot()
 
     def table_snapshot(self) -> Mapping[int, tuple[Any, ...]] | None:

@@ -161,7 +161,8 @@ class HierarchicalScheduler(Instrumented, Scheduler):
         for j in predecessors:
             if not self._enforce(j, i, x):
                 self.aborted.add(i)
-                self.events.emit("abort", txn=i, item=x, blocking=j)
+                if self.events.enabled:
+                    self.events.emit("abort", txn=i, item=x, blocking=j)
                 return Decision(
                     DecisionStatus.REJECT,
                     op,
@@ -192,14 +193,16 @@ class HierarchicalScheduler(Instrumented, Scheduler):
                 outcome = self.tables[level].set_less(node_j, node_i, item)
                 if outcome.encoded:
                     self.metrics.inc("group_level_encodings")
-                    self.events.emit(
-                        "encode", txn=i, item=item, level=level
-                    )
+                    if self.events.enabled:
+                        self.events.emit(
+                            "encode", txn=i, item=item, level=level
+                        )
                 return outcome.ok
         outcome = self.tables[0].set_less(j, i, item)
         if outcome.encoded:
             self.metrics.inc("txn_level_encodings")
-            self.events.emit("encode", txn=i, item=item, level=0)
+            if self.events.enabled:
+                self.events.emit("encode", txn=i, item=item, level=0)
         return outcome.ok
 
     def restart(self, txn: int) -> None:

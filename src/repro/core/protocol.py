@@ -37,7 +37,7 @@ class DecisionStatus(enum.Enum):
     REJECT = "reject"  # the issuing transaction aborts
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """The scheduler's verdict on one operation."""
 

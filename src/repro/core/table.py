@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Mapping
 
 from .timestamp import (
     Comparison,
+    ComparisonCache,
     Counters,
     Element,
     Ordering,
@@ -32,6 +33,14 @@ from .timestamp import (
 
 #: Transaction id of the virtual initial transaction.
 VIRTUAL_TXN = 0
+
+#: Default bound of the per-table comparison cache (0 disables caching).
+DEFAULT_COMPARE_CACHE = 4096
+
+#: Transaction ids below this bound live in the dense slab; anything
+#: larger (or negative) spills into a dict so pathological ids cannot
+#: force a multi-megabyte slab allocation.
+_SLAB_LIMIT = 1 << 16
 
 
 class EncodingPolicy:
@@ -210,7 +219,7 @@ class AccessFrequencyTracker:
         return count >= self._hot_fraction * total
 
 
-@dataclass
+@dataclass(slots=True)
 class SetOutcome:
     """What a ``Set(j, i)`` call did (for tracing and for the composite
     protocol, which needs to distinguish "already ordered" from "encoded
@@ -230,6 +239,14 @@ class TimestampTable:
     Rows are created lazily: the first time a transaction id is looked up it
     receives a fresh all-undefined vector (matching Algorithm 1's
     initialization of every ``TS(i)`` to ``<*, ..., *>``).
+
+    Storage is a dense txn-id-indexed slab (transaction ids are small
+    consecutive integers in every workload), with a dict spill for outliers;
+    row lookup on the scheduling hot path is one list index.  Definition 6
+    comparisons issued by :meth:`set_less`/:meth:`latest_accessor` go
+    through a bounded :class:`~repro.core.timestamp.ComparisonCache`
+    (``cache_size=0`` disables it — decisions are identical either way, the
+    cache only skips redundant rescans of unmutated vectors).
     """
 
     def __init__(
@@ -237,6 +254,7 @@ class TimestampTable:
         k: int,
         counters: Counters | None = None,
         encoding: EncodingPolicy | None = None,
+        cache_size: int = DEFAULT_COMPARE_CACHE,
     ) -> None:
         if k < 1:
             raise ValueError("vector size k must be at least 1")
@@ -245,12 +263,15 @@ class TimestampTable:
         self.encoding = encoding if encoding is not None else NormalEncoding()
         virtual = TimestampVector(k)
         virtual.set(1, 0)
-        self._vectors: dict[int, TimestampVector] = {VIRTUAL_TXN: virtual}
+        self._slab: list[TimestampVector | None] = [virtual]
+        self._spill: dict[int, TimestampVector] = {}
         self._rt: dict[str, int] = {}
         self._wt: dict[str, int] = {}
+        self._cache = ComparisonCache(cache_size) if cache_size > 0 else None
         #: element-comparison cost counter: every Definition 6 comparison
         #: adds its deciding position m (<= k).  This is the unit the
-        #: O(nqk) analysis of Section III-D-3 counts.
+        #: O(nqk) analysis of Section III-D-3 counts.  Cache hits add
+        #: nothing — no elements were visited.
         self.element_visits = 0
 
     # ------------------------------------------------------------------
@@ -258,14 +279,45 @@ class TimestampTable:
     # ------------------------------------------------------------------
     def vector(self, txn: int) -> TimestampVector:
         """``TS(txn)``, creating a fresh all-undefined row on first use."""
-        row = self._vectors.get(txn)
+        slab = self._slab
+        if 0 <= txn < len(slab):
+            row = slab[txn]
+            if row is not None:
+                return row
+        return self._materialize(txn)
+
+    def _materialize(self, txn: int) -> TimestampVector:
+        if 0 <= txn < _SLAB_LIMIT:
+            slab = self._slab
+            if txn >= len(slab):
+                slab.extend([None] * (txn + 1 - len(slab)))
+            row = slab[txn]
+            if row is None:
+                row = slab[txn] = TimestampVector(self.k)
+            return row
+        row = self._spill.get(txn)
         if row is None:
-            row = TimestampVector(self.k)
-            self._vectors[txn] = row
+            row = self._spill[txn] = TimestampVector(self.k)
         return row
 
     def known_txns(self) -> tuple[int, ...]:
-        return tuple(sorted(self._vectors))
+        slab_ids = [
+            txn for txn, row in enumerate(self._slab) if row is not None
+        ]
+        if not self._spill:
+            return tuple(slab_ids)
+        return tuple(sorted(slab_ids + list(self._spill)))
+
+    def _rows(self) -> list[tuple[int, TimestampVector]]:
+        """All live ``(txn, vector)`` rows in ascending txn order."""
+        rows = [
+            (txn, row)
+            for txn, row in enumerate(self._slab)
+            if row is not None
+        ]
+        if self._spill:
+            rows = sorted(rows + list(self._spill.items()))
+        return rows
 
     def is_referenced(self, txn: int) -> bool:
         """Is *txn* still some item's most recent reader or writer?"""
@@ -282,7 +334,10 @@ class TimestampTable:
             raise ValueError(
                 f"T{txn} is still the most recent accessor of some item"
             )
-        self._vectors.pop(txn, None)
+        if 0 <= txn < len(self._slab):
+            self._slab[txn] = None
+        else:
+            self._spill.pop(txn, None)
 
     def rt(self, item: str) -> int:
         """``RT(x)``: id of the most recent reader (initially ``T_0``)."""
@@ -303,12 +358,72 @@ class TimestampTable:
     def latest_accessor(self, item: str) -> int:
         """Lines 5-6 of Algorithm 1: the one of ``RT(x)``/``WT(x)`` holding
         the larger vector (``RT(x)`` when they are not strictly ordered)."""
-        rt, wt = self.rt(item), self.wt(item)
-        comparison = compare(self.vector(rt), self.vector(wt))
-        self.element_visits += comparison.position
+        rt = self._rt.get(item, VIRTUAL_TXN)
+        wt = self._wt.get(item, VIRTUAL_TXN)
+        if rt == wt:
+            # Same transaction on both indices (fresh item: T0/T0; or a
+            # read-then-write by one transaction): the comparison could
+            # only return "not less", i.e. RT(x) — skip it outright.
+            return rt
+        comparison = self._compare_counted(self.vector(rt), self.vector(wt))
         if comparison.ordering is Ordering.LESS:
             return wt
         return rt
+
+    def order_after_latest(self, item: str, i: int) -> tuple[int, SetOutcome]:
+        """Fused lines 5-6 + ``Set(j, i)``: pick the latest accessor ``j``
+        of *item* and try to order it before ``T_i`` in one call.
+
+        Semantically identical to ``set_less(latest_accessor(item), i,
+        item)``; fusing saves a call layer and a row lookup per scheduled
+        operation — this pair is the per-operation hot path of MT(k).
+        """
+        rt = self._rt.get(item, VIRTUAL_TXN)
+        wt = self._wt.get(item, VIRTUAL_TXN)
+        if rt == wt:
+            j = rt
+        else:
+            comparison = self._compare_counted(self.vector(rt), self.vector(wt))
+            j = wt if comparison.ordering is Ordering.LESS else rt
+        return j, self.set_less(j, i, item)
+
+    # ------------------------------------------------------------------
+    # Cached comparisons
+    # ------------------------------------------------------------------
+    def _compare_counted(
+        self, left: TimestampVector, right: TimestampVector
+    ) -> Comparison:
+        """Definition 6 through the cache, charging ``element_visits`` only
+        when elements were actually rescanned (a cache miss)."""
+        cache = self._cache
+        if cache is None:
+            comparison = compare(left, right)
+            self.element_visits += comparison.position
+            return comparison
+        hits_before = cache.hits
+        comparison = cache.compare(left, right)
+        if cache.hits == hits_before:
+            self.element_visits += comparison.position
+        return comparison
+
+    def compare_vectors(
+        self, left: TimestampVector, right: TimestampVector
+    ) -> Comparison:
+        """Cached (uncounted) comparison for scheduler-side checks that sit
+        outside the paper's O(nqk) cost accounting — the lines 9-10 read
+        fallback, the Thomas write rule, abort-time index restoration."""
+        cache = self._cache
+        if cache is None:
+            return compare(left, right)
+        return cache.compare(left, right)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the comparison cache (zeros when the
+        cache is disabled)."""
+        cache = self._cache
+        if cache is None:
+            return {"hits": 0, "misses": 0, "size": 0}
+        return {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
 
     # ------------------------------------------------------------------
     # The Set procedure
@@ -323,10 +438,11 @@ class TimestampTable:
         the optimized encoding policy looks at it.
         """
         if j == i:
-            return SetOutcome(True, Comparison(Ordering.IDENTICAL, self.k), False)
+            return SetOutcome(
+                True, Comparison.of(Ordering.IDENTICAL, self.k), False
+            )
         ts_j, ts_i = self.vector(j), self.vector(i)
-        comparison = compare(ts_j, ts_i)
-        self.element_visits += comparison.position
+        comparison = self._compare_counted(ts_j, ts_i)
         ordering = comparison.ordering
         if ordering is Ordering.LESS:
             return SetOutcome(True, comparison, False)
@@ -353,13 +469,13 @@ class TimestampTable:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[int, tuple[Element, ...]]:
         """Current vectors as immutable tuples, keyed by transaction id."""
-        return {txn: vec.snapshot() for txn, vec in sorted(self._vectors.items())}
+        return {txn: vec.snapshot() for txn, vec in self._rows()}
 
     def column(self, position: int) -> list[Element]:
         """All defined elements currently in 1-based column *position* (used
         by tests of the distinct-last-column invariant)."""
         return [
             vec.get(position)
-            for _, vec in sorted(self._vectors.items())
+            for _, vec in self._rows()
             if vec.get(position) is not UNDEFINED
         ]

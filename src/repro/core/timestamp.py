@@ -55,13 +55,30 @@ class Ordering(enum.Enum):
 
 class Comparison:
     """Result of comparing two vectors: the ordering plus the deciding
-    1-based position ``m`` (``m == k`` matters to the encoding rules)."""
+    1-based position ``m`` (``m == k`` matters to the encoding rules).
+
+    Prefer :meth:`of` over the constructor on hot paths: small positions
+    (``m <= 16``, i.e. every practical vector size) resolve to shared
+    interned instances, so comparing a million vector pairs allocates
+    nothing.  Interned or not, instances are value-equal and hashable the
+    same way.
+    """
 
     __slots__ = ("ordering", "position")
+
+    #: Positions up to this bound resolve to interned shared instances.
+    INTERN_LIMIT = 16
 
     def __init__(self, ordering: Ordering, position: int) -> None:
         self.ordering = ordering
         self.position = position
+
+    @classmethod
+    def of(cls, ordering: Ordering, position: int) -> "Comparison":
+        """Factory returning the interned instance for small positions."""
+        if 1 <= position <= cls.INTERN_LIMIT:
+            return _INTERNED[(ordering, position)]
+        return cls(ordering, position)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Comparison({self.ordering.value!r}, m={self.position})"
@@ -77,6 +94,25 @@ class Comparison:
         return hash((self.ordering, self.position))
 
 
+#: The interned ``(ordering, position)`` pairs behind :meth:`Comparison.of`.
+_INTERNED: dict[tuple[Ordering, int], Comparison] = {
+    (ordering, position): Comparison(ordering, position)
+    for ordering in Ordering
+    for position in range(1, Comparison.INTERN_LIMIT + 1)
+}
+
+#: Position-indexed views of the interned instances (index 0 unused) —
+#: ``compare()`` resolves its verdict with one list index instead of a
+#: method call plus tuple hash.
+_LESS_AT = [None] + [_INTERNED[(Ordering.LESS, p)] for p in range(1, 17)]
+_GREATER_AT = [None] + [_INTERNED[(Ordering.GREATER, p)] for p in range(1, 17)]
+_EQUAL_AT = [None] + [_INTERNED[(Ordering.EQUAL, p)] for p in range(1, 17)]
+_SEMI_AT = [None] + [_INTERNED[(Ordering.SEMI, p)] for p in range(1, 17)]
+_IDENTICAL_AT = [None] + [
+    _INTERNED[(Ordering.IDENTICAL, p)] for p in range(1, 17)
+]
+
+
 class TimestampVector:
     """A mutable ``k``-element timestamp vector.
 
@@ -86,7 +122,7 @@ class TimestampVector:
     machinery behind Tables I-III does).
     """
 
-    __slots__ = ("_elements",)
+    __slots__ = ("_elements", "_version", "_flushes", "_mask", "_prefix_hint")
 
     def __init__(self, k: int, elements: Iterable[Element] | None = None) -> None:
         if k < 1:
@@ -99,12 +135,49 @@ class TimestampVector:
                 raise ValueError(
                     f"expected {k} elements, got {len(self._elements)}"
                 )
+        #: mutation counter: bumped by every set() and flush(), so any two
+        #: observations with equal versions saw identical elements.
+        self._version = 0
+        #: flush epoch: bumped only by flush().  Between two observations
+        #: with equal epochs no element was ever *un*-defined, so a decided
+        #: ordering (<, >, identical) observed earlier still holds (fill-only
+        #: monotonicity — the invariant Theorem 2's proof rests on).
+        self._flushes = 0
+        #: bitmask of defined 1-based positions (bit p-1 set iff position p
+        #: is defined).  Within one flush epoch elements are write-once, so
+        #: an unchanged masked prefix means unchanged element values — the
+        #: O(1) staleness test the comparison cache uses.
+        self._mask = 0
+        for index, element in enumerate(self._elements):
+            if element is not UNDEFINED:
+                self._mask |= 1 << index
+        self._prefix_hint = self._scan_prefix(0)
 
     # ------------------------------------------------------------------
     @property
     def k(self) -> int:
         """The vector dimension."""
         return len(self._elements)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped on every :meth:`set` and :meth:`flush`)."""
+        return self._version
+
+    @property
+    def flush_count(self) -> int:
+        """Flush epoch (bumped only by :meth:`flush`)."""
+        return self._flushes
+
+    def _scan_prefix(self, start: int) -> int:
+        """Length of the defined prefix, scanning from 0-based *start*."""
+        elements = self._elements
+        count = start
+        for index in range(start, len(elements)):
+            if elements[index] is UNDEFINED:
+                break
+            count += 1
+        return count
 
     def get(self, position: int) -> Element:
         """``TS(i, m)``: the element at 1-based *position*."""
@@ -127,21 +200,28 @@ class TimestampVector:
         if value is UNDEFINED:
             raise ValueError("cannot assign the undefined value")
         self._elements[position - 1] = value
+        self._version += 1
+        self._mask |= 1 << (position - 1)
+        if position - 1 == self._prefix_hint:
+            # The new element extends the defined prefix; it may also bridge
+            # into "holes" (defined elements further right, e.g. a k-th
+            # column counter draw), so keep scanning past them.
+            self._prefix_hint = self._scan_prefix(position - 1)
 
     def flush(self) -> None:
         """Reset every element to undefined (starvation remedy, III-D-4)."""
         for index in range(len(self._elements)):
             self._elements[index] = UNDEFINED
+        self._version += 1
+        self._flushes += 1
+        self._mask = 0
+        self._prefix_hint = 0
 
     def defined_prefix_length(self) -> int:
         """Number of leading defined elements (used by the optimized
-        encoding of Section III-D-5)."""
-        count = 0
-        for element in self._elements:
-            if element is UNDEFINED:
-                break
-            count += 1
-        return count
+        encoding of Section III-D-5).  O(1): maintained incrementally by
+        :meth:`set`/:meth:`flush` instead of re-scanning the prefix."""
+        return self._prefix_hint
 
     def defined_count(self) -> int:
         """Total number of defined elements anywhere in the vector."""
@@ -185,20 +265,48 @@ def compare(left: TimestampVector, right: TimestampVector) -> Comparison:
     Returns the :class:`Comparison` holding the ordering and the deciding
     position ``m``.  ``IDENTICAL`` carries position ``k``.
     """
-    if left.k != right.k:
+    left_elements = left._elements
+    right_elements = right._elements
+    if len(left_elements) != len(right_elements):
         raise ValueError(f"dimension mismatch: {left.k} vs {right.k}")
-    for position in range(1, left.k + 1):
-        a = left.get(position)
-        b = right.get(position)
-        if a is UNDEFINED and b is UNDEFINED:
-            return Comparison(Ordering.EQUAL, position)
-        if a is UNDEFINED or b is UNDEFINED:
-            return Comparison(Ordering.SEMI, position)
+    position = 0
+    try:
+        for a, b in zip(left_elements, right_elements):
+            position += 1
+            if a is UNDEFINED:
+                if b is UNDEFINED:
+                    return _EQUAL_AT[position]
+                return _SEMI_AT[position]
+            if b is UNDEFINED:
+                return _SEMI_AT[position]
+            if a < b:
+                return _LESS_AT[position]
+            if a > b:
+                return _GREATER_AT[position]
+        return _IDENTICAL_AT[position]
+    except IndexError:  # k > INTERN_LIMIT: fall back to fresh instances
+        pass
+    return _compare_wide(left_elements, right_elements)
+
+
+def _compare_wide(
+    left_elements: Sequence[Element], right_elements: Sequence[Element]
+) -> Comparison:
+    """The ``k > INTERN_LIMIT`` slow path of :func:`compare`."""
+    position = 0
+    for a, b in zip(left_elements, right_elements):
+        position += 1
+        if a is UNDEFINED:
+            if b is UNDEFINED:
+                return Comparison.of(Ordering.EQUAL, position)
+            return Comparison.of(Ordering.SEMI, position)
+        if b is UNDEFINED:
+            return Comparison.of(Ordering.SEMI, position)
         if a < b:
-            return Comparison(Ordering.LESS, position)
+            return Comparison.of(Ordering.LESS, position)
         if a > b:
-            return Comparison(Ordering.GREATER, position)
-    return Comparison(Ordering.IDENTICAL, left.k)
+            return Comparison.of(Ordering.GREATER, position)
+    return Comparison.of(Ordering.IDENTICAL, position)
 
 
 def is_less(left: TimestampVector, right: TimestampVector) -> bool:
@@ -210,6 +318,83 @@ def is_less(left: TimestampVector, right: TimestampVector) -> bool:
 def is_greater(left: TimestampVector, right: TimestampVector) -> bool:
     """``TS(i) > TS(j)`` per Definition 6."""
     return compare(left, right).ordering is Ordering.GREATER
+
+
+class ComparisonCache:
+    """Bounded memo for Definition 6 comparisons over live vector pairs.
+
+    Keyed by ``(id(left), id(right))``; each entry pins strong references
+    to both vectors, so an id cannot be recycled while its entry is alive
+    (no false hits from ``id()`` reuse after garbage collection).
+
+    Validity: a verdict decided at position ``m`` depends only on elements
+    ``1..m`` of both vectors.  Each entry therefore records, per side, the
+    flush epoch and the defined-positions mask restricted to ``1..m``; the
+    entry is reusable iff both still match.  Equal flush epochs mean no
+    element was un-defined since (elements are write-once within an epoch,
+    so a defined element cannot have changed value), and an unchanged
+    masked prefix means no element in ``1..m`` was newly defined — together
+    the deciding evidence is bit-for-bit what the scan saw.  ``set()``
+    calls beyond the deciding position never invalidate an entry; a
+    ``flush()`` on either side invalidates every entry involving it.
+
+    Eviction is FIFO once ``maxsize`` entries exist; ``hits``/``misses``
+    make the effectiveness observable (the table exports them as gauges).
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: dict[tuple[int, int], tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def compare(self, left: TimestampVector, right: TimestampVector) -> Comparison:
+        """Cached Definition 6 comparison."""
+        key = (id(left), id(right))
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry[0] is left
+            and entry[1] is right
+            and entry[2] == left._flushes
+            and entry[3] == right._flushes
+        ):
+            pmask = entry[4]
+            if (
+                left._mask & pmask == entry[5]
+                and right._mask & pmask == entry[6]
+            ):
+                self.hits += 1
+                return entry[7]
+        self.misses += 1
+        result = compare(left, right)
+        entries = self._entries
+        if key not in entries and len(entries) >= self.maxsize:
+            entries.pop(next(iter(entries)))
+        pmask = (1 << result.position) - 1
+        entries[key] = (
+            left,
+            right,
+            left._flushes,
+            right._flushes,
+            pmask,
+            left._mask & pmask,
+            right._mask & pmask,
+            result,
+        )
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def render_snapshot(elements: Sequence[Element]) -> str:

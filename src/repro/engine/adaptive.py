@@ -108,9 +108,10 @@ class AdaptiveMTController(Instrumented):
         )
         self.metrics.inc(action + "s")
         self.metrics.set_gauge("k", self.k)
-        self.events.emit(
-            "adapt", action=action, k=self.k, recent_acceptance=round(rate, 4)
-        )
+        if self.events.enabled:
+            self.events.emit(
+                "adapt", action=action, k=self.k, recent_acceptance=round(rate, 4)
+            )
 
     # ------------------------------------------------------------------
     @property

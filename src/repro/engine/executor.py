@@ -36,7 +36,7 @@ from ..core.protocol import Decision, DecisionStatus, Scheduler
 from ..model.dependency import DependencyGraph
 from ..model.generator import interleave
 from ..model.log import Log
-from ..model.operations import Operation, Transaction
+from ..model.operations import Operation, OpKind, Transaction
 from ..obs.instrument import Instrumented
 from ..storage.database import Database
 from ..storage.wal import UndoLog
@@ -99,6 +99,10 @@ class TransactionExecutor(Instrumented):
         self.max_attempts = max_attempts
         self.write_policy = write_policy
         self.rollback = rollback
+        # Hot-path flags: one attribute read instead of a string compare
+        # per operation / per abort.
+        self._deferred = write_policy == "deferred"
+        self._partial = rollback == "partial"
         self.init_observability(
             "executor",
             counters=(
@@ -113,6 +117,15 @@ class TransactionExecutor(Instrumented):
                 "global_restarts",
             ),
         )
+        # Pre-bound Counter objects for the per-operation and abort hot
+        # paths (reset() zeroes counters in place, so the bindings stay
+        # live).
+        self._c_ops_executed = self.metrics.counter("ops_executed")
+        self._c_ignored_writes = self.metrics.counter("ignored_writes")
+        self._c_aborts = self.metrics.counter("aborts")
+        self._c_restarts = self.metrics.counter("restarts")
+        self._c_undo_ops = self.metrics.counter("undo_ops")
+        self._c_ops_reexecuted = self.metrics.counter("ops_reexecuted")
 
     # ------------------------------------------------------------------
     def execute(
@@ -165,7 +178,7 @@ class TransactionExecutor(Instrumented):
         queue: list[int],
     ) -> bool:
         """Issue one operation; returns True when the program completed."""
-        if self.write_policy == "deferred" and op.kind.is_write:
+        if self._deferred and op.kind is OpKind.WRITE:
             state.buffered_writes.append(op)
             state.position += 1
             return state.position >= state.txn.num_operations
@@ -184,7 +197,7 @@ class TransactionExecutor(Instrumented):
             return False
         if decision.status is DecisionStatus.IGNORE:
             report.ignored_writes += 1
-            self.metrics.inc("ignored_writes")
+            self._c_ignored_writes.inc()
         else:
             self._perform(op, undo, report)
             state.executed_this_attempt += 1
@@ -201,7 +214,7 @@ class TransactionExecutor(Instrumented):
             before = self.database.write(op.item, value)
             undo.record_write(op.txn, op.item, before, after=value)
         report.ops_executed += 1
-        self.metrics.inc("ops_executed")
+        self._c_ops_executed.inc()
         report.committed_ops.append(op)
 
     def _try_commit(
@@ -229,14 +242,15 @@ class TransactionExecutor(Instrumented):
         for decision in decisions:
             if decision.status is DecisionStatus.IGNORE:
                 report.ignored_writes += 1
-                self.metrics.inc("ignored_writes")
+                self._c_ignored_writes.inc()
             else:
                 self._perform(decision.op, undo, report)
         state.buffered_writes.clear()
         undo.commit(txn_id)
         report.committed.add(txn_id)
         self.metrics.inc("commits")
-        self.events.emit("commit", txn=txn_id, attempt=state.attempt)
+        if self.events.enabled:
+            self.events.emit("commit", txn=txn_id, attempt=state.attempt)
         commit = getattr(self.scheduler, "commit", None)
         if callable(commit):
             commit(txn_id)
@@ -249,25 +263,26 @@ class TransactionExecutor(Instrumented):
         queue: list[int],
     ) -> None:
         txn_id = state.txn.txn_id
-        self.metrics.inc("aborts")
-        partial_ok = self.rollback == "partial" and txn_id in getattr(
+        self._c_aborts.inc()
+        partial_ok = self._partial and txn_id in getattr(
             self.scheduler, "partial_ok", ()
         )
         if partial_ok:
             # VI-C 1: effects preserved; resume at the failed operation.
             self.scheduler.restart(txn_id)
             report.restarts += 1
-            self.metrics.inc("restarts")
-            self.events.emit("restart", txn=txn_id, partial=True)
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=True)
             queue.append(txn_id)  # the failed op will be reissued
             self._requeue_remaining(state, queue)
             return
         # Full rollback: undo writes, discard the attempt, retry or fail.
         undone = undo.rollback(txn_id)
         report.undo_count += undone
-        self.metrics.inc("undo_ops", undone)
+        self._c_undo_ops.inc(undone)
         report.ops_reexecuted += state.executed_this_attempt
-        self.metrics.inc("ops_reexecuted", state.executed_this_attempt)
+        self._c_ops_reexecuted.inc(state.executed_this_attempt)
         self._drop_executed_ops(txn_id, state, report)
         state.buffered_writes.clear()
         state.position = 0
@@ -275,12 +290,14 @@ class TransactionExecutor(Instrumented):
         if state.attempt >= self.max_attempts:
             report.failed.add(txn_id)
             self.metrics.inc("failures")
-            self.events.emit("fail", txn=txn_id, attempts=state.attempt)
+            if self.events.enabled:
+                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
             return
         state.attempt += 1
         report.restarts += 1
-        self.metrics.inc("restarts")
-        self.events.emit("restart", txn=txn_id, partial=False)
+        self._c_restarts.inc()
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn_id, partial=False)
         restart = getattr(self.scheduler, "restart", None)
         if callable(restart):
             restart(txn_id)
@@ -290,9 +307,10 @@ class TransactionExecutor(Instrumented):
         self, undo: UndoLog, report: ExecutionReport, queue: list[int]
     ) -> None:
         self.scheduler.reset()
-        self.metrics.inc("aborts")
+        self._c_aborts.inc()
         self.metrics.inc("global_restarts")
-        self.events.emit("global_restart")
+        if self.events.enabled:
+            self.events.emit("global_restart")
         for state in self._states.values():
             txn_id = state.txn.txn_id
             if txn_id in report.committed or txn_id in report.failed:
@@ -301,9 +319,9 @@ class TransactionExecutor(Instrumented):
                 continue  # had not started; nothing to roll back
             undone = undo.rollback(txn_id)
             report.undo_count += undone
-            self.metrics.inc("undo_ops", undone)
+            self._c_undo_ops.inc(undone)
             report.ops_reexecuted += state.executed_this_attempt
-            self.metrics.inc("ops_reexecuted", state.executed_this_attempt)
+            self._c_ops_reexecuted.inc(state.executed_this_attempt)
             self._drop_executed_ops(txn_id, state, report)
             state.buffered_writes.clear()
             state.position = 0
@@ -311,12 +329,14 @@ class TransactionExecutor(Instrumented):
             if state.attempt >= self.max_attempts:
                 report.failed.add(txn_id)
                 self.metrics.inc("failures")
-                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
+                if self.events.enabled:
+                    self.events.emit("fail", txn=txn_id, attempts=state.attempt)
                 continue
             state.attempt += 1
             report.restarts += 1
-            self.metrics.inc("restarts")
-            self.events.emit("restart", txn=txn_id, partial=False)
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=False)
             queue.extend([txn_id] * state.txn.num_operations)
 
     def _requeue_remaining(self, state: _TxnState, queue: list[int]) -> None:
@@ -327,13 +347,18 @@ class TransactionExecutor(Instrumented):
         self, txn_id: int, state: _TxnState, report: ExecutionReport
     ) -> None:
         """Remove the aborted attempt's operations from the committed-ops
-        record (they were rolled back)."""
-        kept: list[Operation] = []
+        record (they were rolled back).
+
+        The attempt's operations all sit near the tail, so walk backwards
+        and delete in place — each ``del`` only shifts the short suffix
+        behind it, instead of rebuilding the whole record per abort."""
         to_drop = state.executed_this_attempt
-        for op in reversed(report.committed_ops):
-            if to_drop and op.txn == txn_id:
+        if not to_drop:
+            return
+        ops = report.committed_ops
+        index = len(ops) - 1
+        while to_drop and index >= 0:
+            if ops[index].txn == txn_id:
+                del ops[index]
                 to_drop -= 1
-                continue
-            kept.append(op)
-        kept.reverse()
-        report.committed_ops = kept
+            index -= 1

@@ -77,7 +77,8 @@ class OptimisticScheduler(Instrumented, Scheduler):
             if committed_writes & reads or committed_writes & writes:
                 self.aborted.add(txn)
                 self.metrics.inc("validation_failures")
-                self.events.emit("abort", txn=txn, cause="validation")
+                if self.events.enabled:
+                    self.events.emit("abort", txn=txn, cause="validation")
                 return False
         self._serial += 1
         self._committed.append((self._serial, set(writes)))
@@ -88,7 +89,8 @@ class OptimisticScheduler(Instrumented, Scheduler):
         for table in (self._start, self._read_set, self._write_set):
             table.pop(txn, None)
         self.metrics.inc("restarts")
-        self.events.emit("restart", txn=txn)
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn)
 
     # ------------------------------------------------------------------
     def _plan_commits(self, log: Log) -> None:

@@ -74,4 +74,5 @@ class ConventionalTOScheduler(Instrumented, Scheduler):
         self.aborted.discard(txn)
         self._ts.pop(txn, None)
         self.metrics.inc("restarts")
-        self.events.emit("restart", txn=txn)
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn)

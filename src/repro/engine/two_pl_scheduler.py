@@ -83,7 +83,8 @@ class StrictTwoPLScheduler(Instrumented, Scheduler):
         self.locks.release_all(txn)
         self._ops_seen.pop(txn, None)
         self.metrics.inc("restarts")
-        self.events.emit("restart", txn=txn)
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn)
 
     def plan_transactions(self, transactions) -> None:
         """Executor hook: pre-declare the strongest lock mode per

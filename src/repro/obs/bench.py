@@ -189,28 +189,63 @@ def _element_visits(scheduler: Any) -> int:
     return 0
 
 
-def run_scenario(scenario: Scenario, quick: bool = False) -> dict[str, Any]:
-    """Execute one scenario across its seeds; returns the result record."""
+#: Per-seed integer counters; summed across seeds into the scenario record.
+_COUNT_KEYS = (
+    "aborts",
+    "restarts",
+    "element_visits",
+    "ops_executed",
+    "undo_ops",
+    "ignored_writes",
+    "committed",
+    "failed",
+)
+
+#: Hottest functions kept per scenario under ``--profile``.
+PROFILE_TOP = 8
+
+
+def run_seed(
+    name: str, seed: int, profile: bool = False
+) -> dict[str, Any]:
+    """Execute one ``(scenario, seed)`` cell of a *registered* scenario.
+
+    This is the unit of the process-pool fan-out: module-level (hence
+    picklable), fully determined by its arguments (all randomness flows
+    through *seed*), and independent of every other cell.
+    """
+    return _run_seed_for(scenarios()[name], seed, profile=profile)
+
+
+#: Timed executions per (scenario, seed) cell; the reported wall time is
+#: their minimum (timeit practice — the minimum is the estimate least
+#: contaminated by scheduler preemption and other machine noise).
+TIMED_REPEATS = 3
+
+
+def _run_seed_for(
+    scenario: Scenario, seed: int, profile: bool = False
+) -> dict[str, Any]:
+    """One scenario × seed execution; returns the per-seed counters.
+
+    Tracing is disabled on both the scheduler and the executor — decisions
+    do not depend on it, and the hot path must not pay for event dicts
+    nobody reads.  An untimed warm-up run on throwaway state precedes
+    ``TIMED_REPEATS`` timed runs (each on fresh state) so bytecode
+    specialization and allocator warm-up don't bill the measurement;
+    ``wall_s`` is the minimum over the repeats.  Every run sees identical
+    inputs and execution is deterministic per seed, so the counters are
+    identical across repeats — they are taken from the last run.
+    """
     import random
 
     from ..engine.executor import TransactionExecutor
     from ..model.generator import WorkloadSpec, generate_transactions
 
     spec = WorkloadSpec(**dict(scenario.spec_kwargs))
-    seeds = range(scenario.quick_seeds if quick else scenario.full_seeds)
-    totals = {
-        "aborts": 0,
-        "restarts": 0,
-        "element_visits": 0,
-        "ops_executed": 0,
-        "undo_ops": 0,
-        "ignored_writes": 0,
-        "committed": 0,
-        "failed": 0,
-    }
-    wall_s = 0.0
-    for seed in seeds:
-        transactions = generate_transactions(spec, random.Random(seed))
+    transactions = generate_transactions(spec, random.Random(seed))
+
+    def _fresh() -> TransactionExecutor:
         scheduler = scenario.factory()
         executor = TransactionExecutor(
             scheduler,
@@ -218,45 +253,165 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> dict[str, Any]:
             rollback=scenario.rollback,
             write_policy=scenario.write_policy,
         )
+        scheduler.events.disable()
+        executor.events.disable()
+        return executor
+
+    _fresh().execute(transactions, seed=seed)  # warm-up, discarded
+
+    wall_s = None
+    profile_rows = None
+    for attempt in range(TIMED_REPEATS):
+        executor = _fresh()
+        scheduler = executor.scheduler
+        profiler = None
+        if profile and attempt == 0:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         start = time.perf_counter()
         report = executor.execute(transactions, seed=seed)
-        wall_s += time.perf_counter() - start
-        if scenario.check_serializable and not report.is_serializable():
-            raise AssertionError(  # pragma: no cover - Theorem 2 guard
-                f"{scenario.name}: committed projection not serializable"
+        elapsed = time.perf_counter() - start
+        if profiler is not None:
+            profiler.disable()
+            profile_rows = _profile_rows(profiler)
+        if wall_s is None or elapsed < wall_s:
+            wall_s = elapsed
+    if scenario.check_serializable and not report.is_serializable():
+        raise AssertionError(  # pragma: no cover - Theorem 2 guard
+            f"{scenario.name}: committed projection not serializable"
+        )
+    # Aborts are counted executor-side: the composite's global restart
+    # resets the scheduler (and its "rejected" counter) mid-run.
+    result: dict[str, Any] = {
+        "wall_s": wall_s,
+        "aborts": executor.stats.get("aborts", 0),
+        "restarts": report.restarts,
+        "element_visits": _element_visits(scheduler),
+        "ops_executed": report.ops_executed,
+        "undo_ops": report.undo_count,
+        "ignored_writes": report.ignored_writes,
+        "committed": len(report.committed),
+        "failed": len(report.failed),
+    }
+    if profile_rows is not None:
+        result["profile"] = profile_rows
+    return result
+
+
+def _profile_rows(profiler: Any) -> list[dict[str, Any]]:
+    """Flatten a cProfile run into mergeable per-function rows."""
+    import pstats
+
+    rows = []
+    for (filename, line, func), (cc, ncalls, tottime, cumtime, _callers) in (
+        pstats.Stats(profiler).stats.items()  # type: ignore[attr-defined]
+    ):
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{line}:{func}",
+                "calls": ncalls,
+                "tottime_ms": tottime * 1000.0,
+                "cumtime_ms": cumtime * 1000.0,
+            }
+        )
+    return rows
+
+
+def _merge_profiles(
+    per_seed: Sequence[Sequence[Mapping[str, Any]]]
+) -> list[dict[str, Any]]:
+    """Sum per-seed profile rows by function; keep the hottest by tottime."""
+    merged: dict[str, dict[str, Any]] = {}
+    for rows in per_seed:
+        for row in rows:
+            slot = merged.setdefault(
+                row["function"],
+                {
+                    "function": row["function"],
+                    "calls": 0,
+                    "tottime_ms": 0.0,
+                    "cumtime_ms": 0.0,
+                },
             )
-        # Counted executor-side: the composite's global restart resets the
-        # scheduler (and its "rejected" counter) mid-run.
-        totals["aborts"] += executor.stats.get("aborts", 0)
-        totals["restarts"] += report.restarts
-        totals["element_visits"] += _element_visits(scheduler)
-        totals["ops_executed"] += report.ops_executed
-        totals["undo_ops"] += report.undo_count
-        totals["ignored_writes"] += report.ignored_writes
-        totals["committed"] += len(report.committed)
-        totals["failed"] += len(report.failed)
+            slot["calls"] += row["calls"]
+            slot["tottime_ms"] += row["tottime_ms"]
+            slot["cumtime_ms"] += row["cumtime_ms"]
+    hottest = sorted(
+        merged.values(), key=lambda row: row["tottime_ms"], reverse=True
+    )[:PROFILE_TOP]
+    for row in hottest:
+        row["tottime_ms"] = round(row["tottime_ms"], 3)
+        row["cumtime_ms"] = round(row["cumtime_ms"], 3)
+    return hottest
+
+
+def _aggregate(
+    scenario: Scenario, per_seed: Sequence[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Fold per-seed cells into one scenario record (seed order fixed by
+    the caller, so the sums are reproducible regardless of worker order)."""
+    totals = {key: 0 for key in _COUNT_KEYS}
+    wall_s = 0.0
+    for cell in per_seed:
+        wall_s += cell["wall_s"]
+        for key in _COUNT_KEYS:
+            totals[key] += cell[key]
     result: dict[str, Any] = {
         "description": scenario.description,
-        "seeds": len(seeds),
+        "seeds": len(per_seed),
         "throughput": round(totals["ops_executed"] / wall_s, 1)
         if wall_s > 0
         else 0.0,
         "wall_ms": round(wall_s * 1000.0, 3),
         **totals,
     }
+    profiles = [cell["profile"] for cell in per_seed if "profile" in cell]
+    if profiles:
+        result["profile"] = _merge_profiles(profiles)
     return result
+
+
+def run_scenario(
+    scenario: Scenario, quick: bool = False, profile: bool = False
+) -> dict[str, Any]:
+    """Execute one scenario across its seeds; returns the result record."""
+    cells = [
+        _run_seed_for(scenario, seed, profile=profile)
+        for seed in range(scenario.quick_seeds if quick else scenario.full_seeds)
+    ]
+    return _aggregate(scenario, cells)
+
+
+def _run_cell(task: tuple[str, int, bool]) -> tuple[str, int, dict[str, Any]]:
+    """Pool entry point: one ``(scenario, seed)`` cell, tagged for reorder."""
+    name, seed, profile = task
+    return name, seed, run_seed(name, seed, profile=profile)
 
 
 def run_bench(
     quick: bool = False,
     only: Sequence[str] | None = None,
     out: str | Path | None = "BENCH_repro.json",
+    jobs: int = 1,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run the scenario family and write the consolidated JSON.
 
     ``only`` filters scenario names; ``out=None`` skips writing.  Returns
     the payload either way.
+
+    ``jobs > 1`` fans the independent ``scenarios × seeds`` cells out over
+    a process pool.  Per-seed results are deterministic and aggregation
+    happens in fixed (scenario, seed) order, so everything except the
+    wall-clock-derived fields (``wall_ms``, ``throughput``) is identical
+    to a ``jobs=1`` run.  ``profile=True`` attaches a per-scenario cProfile
+    top-hotspot breakdown; the profiler only runs on the first timed repeat,
+    so the minimum-of-repeats wall clock still comes from unprofiled runs.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
     table = scenarios()
     selected = list(only) if only else sorted(table)
     unknown = [name for name in selected if name not in table]
@@ -264,18 +419,75 @@ def run_bench(
         raise KeyError(
             f"unknown scenario(s) {unknown}; available: {sorted(table)}"
         )
+    tasks = [
+        (name, seed, profile)
+        for name in selected
+        for seed in range(
+            table[name].quick_seeds if quick else table[name].full_seeds
+        )
+    ]
+    cells: dict[tuple[str, int], dict[str, Any]] = {}
+    if jobs == 1 or len(tasks) <= 1:
+        for task in tasks:
+            name, seed, cell = _run_cell(task)
+            cells[(name, seed)] = cell
+    else:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks))
+        ) as pool:
+            for name, seed, cell in pool.map(_run_cell, tasks):
+                cells[(name, seed)] = cell
     results = {
-        name: run_scenario(table[name], quick=quick) for name in selected
+        name: _aggregate(
+            table[name],
+            [
+                cells[(name, seed)]
+                for seed in range(
+                    table[name].quick_seeds if quick else table[name].full_seeds
+                )
+            ],
+        )
+        for name in selected
     }
     payload: dict[str, Any] = {
         "schema": SCHEMA,
         "quick": quick,
+        "jobs": jobs,
         "python": platform.python_version(),
         "scenarios": results,
     }
     if out is not None:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+def compare_payloads(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    floor: float = 0.5,
+) -> list[str]:
+    """Throughput regression check of *current* against *baseline*.
+
+    Returns one problem string per scenario present in both payloads whose
+    throughput fell below ``floor`` × the baseline's.  Scenarios missing
+    from either side are skipped (the baseline may predate a scenario).
+    Used by the CI perf-smoke job.
+    """
+    problems: list[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, result in current.get("scenarios", {}).items():
+        base = base_scenarios.get(name)
+        if base is None:
+            continue
+        threshold = floor * base.get("throughput", 0.0)
+        if result.get("throughput", 0.0) < threshold:
+            problems.append(
+                f"{name}: throughput {result.get('throughput')} below "
+                f"{floor}x baseline ({base.get('throughput')})"
+            )
+    return problems
 
 
 def validate_payload(payload: Mapping[str, Any]) -> list[str]:

@@ -59,10 +59,22 @@ class EventTrace:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
+        #: Hot-path gate: emit call sites check this *before* building the
+        #: event's keyword arguments, so a disabled trace costs one
+        #: attribute read per would-be event — no dict, no TraceEvent.
+        self.enabled = capacity > 0
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._seq = 0
 
     # ------------------------------------------------------------------
+    def disable(self) -> None:
+        """Turn emission off (benchmark hot loops); buffered events stay."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Re-enable emission (no-op while capacity is 0)."""
+        self.enabled = self.capacity > 0
+
     def emit(
         self,
         kind: str,
@@ -77,7 +89,7 @@ class EventTrace:
         honestly.
         """
         self._seq += 1
-        if self.capacity == 0:
+        if not self.enabled:
             return None
         event = TraceEvent(self._seq, kind, txn, item, detail)
         self._events.append(event)
