@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from ..check.oracle import ordered_item_pairs
 from ..core.mtk import MTkScheduler
 from ..core.timestamp import UNDEFINED
 from ..model.log import Log
@@ -70,23 +71,13 @@ def verify_certificate(
     """Check conditions i)-iii) of Definition 2 (and iv of Definition 3)
     directly: every ordered conflicting (/read-read) pair agrees with the
     ``s`` order.  Transactions absent from *numbers* fail the check."""
-    ops = log.operations
-    for later_index, later in enumerate(ops):
-        for earlier in ops[:later_index]:
-            if earlier.txn == later.txn or earlier.item != later.item:
-                continue
-            conflicting = earlier.kind.is_write or later.kind.is_write
-            read_read = (
-                check_read_read
-                and earlier.kind.is_read
-                and later.kind.is_read
-            )
-            if not (conflicting or read_read):
-                continue
-            if earlier.txn not in numbers or later.txn not in numbers:
-                return False
-            if not numbers[earlier.txn] < numbers[later.txn]:
-                return False
+    for earlier, later in ordered_item_pairs(
+        log, include_read_read=check_read_read
+    ):
+        if earlier.txn not in numbers or later.txn not in numbers:
+            return False
+        if not numbers[earlier.txn] < numbers[later.txn]:
+            return False
     return True
 
 

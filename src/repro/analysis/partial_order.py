@@ -14,11 +14,10 @@ until the Theorem 3 saturation.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable
 
+from ..check.oracle import vector_order_pairs
 from ..core.mtk import MTkScheduler
-from ..core.timestamp import Ordering, compare
 from ..model.log import Log
 
 
@@ -29,16 +28,8 @@ def ordered_and_incomparable_pairs(scheduler: MTkScheduler) -> tuple[int, int]:
         for t in scheduler.table.known_txns()
         if t != 0 and t not in scheduler.aborted
     ]
-    ordered = incomparable = 0
-    for a, b in itertools.combinations(txns, 2):
-        ordering = compare(
-            scheduler.table.vector(a), scheduler.table.vector(b)
-        ).ordering
-        if ordering in (Ordering.LESS, Ordering.GREATER):
-            ordered += 1
-        else:
-            incomparable += 1
-    return ordered, incomparable
+    ordered, incomparable = vector_order_pairs(scheduler.table.vector, txns)
+    return len(ordered), len(incomparable)
 
 
 def incomparable_fraction(scheduler: MTkScheduler) -> float:

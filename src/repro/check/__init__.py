@@ -1,0 +1,45 @@
+"""Conformance oracle subsystem: the standing correctness harness.
+
+Four parts (the ISSUE-3 tentpole):
+
+* :mod:`repro.check.oracle` — the unified :class:`SerializabilityOracle`
+  (conflict-graph DSR, view-SR brute force, Definition 6 replay
+  certificate) and the shared pair/graph primitives every decider
+  delegates to;
+* :mod:`repro.check.enumerate` — exhaustive small-scope enumeration of
+  every log up to (n transactions x q operations x m items), asserting
+  Theorem 2, the Definition 6 certificate, the Fig. 4 region assignments
+  and the Theorem 3 collapse for each one;
+* :mod:`repro.check.fuzz` — the seeded differential fuzzer driving
+  identical operation streams through every scheduler via the executor
+  and cross-checking acceptance against the class hierarchy;
+* :mod:`repro.check.shrink` — delta-debugging (ddmin) counterexample
+  reduction used by the fuzzer.
+
+Submodules are imported lazily: lower layers (``classes.membership``,
+``analysis.certificate``) delegate *into* :mod:`repro.check.oracle`, and
+the enumerator/fuzzer import those layers back — eager package imports
+here would close that cycle before the lower modules finish loading.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_SUBMODULES = ("oracle", "enumerate", "fuzz", "shrink")
+
+__all__ = list(_SUBMODULES) + [
+    "SerializabilityOracle",
+    "Verdict",
+    "ViewSerializabilityUnknown",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    if name in ("SerializabilityOracle", "Verdict", "ViewSerializabilityUnknown"):
+        module = importlib.import_module(".oracle", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

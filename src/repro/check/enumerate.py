@@ -1,0 +1,277 @@
+"""Exhaustive small-scope conformance sweep.
+
+Small-scope hypothesis, applied to Theorem 2: if a scheduler bug exists,
+a tiny log almost certainly exhibits it.  This module enumerates **every**
+log of up to ``n`` multi-step transactions x ``q`` operations x ``m``
+items (via the generator's enumerating mode), collapses the space by
+transaction/item renaming (:func:`~repro.model.generator.canonical_form`,
+a ~12x reduction), and asserts for each canonical representative:
+
+* **theorem2** — MT(k) accepts only DSR logs, for every probed ``k``;
+* **definition6** — each accepted MT(k) run is certified by the
+  Definition 5/6 serializability numbers (the replay oracle);
+* **to1-declarative** — a log in Definition 4's declarative TO(1) is
+  accepted by MT(1);
+* **mt1-scalar-to** — MT(1) and conventional scalar TO accept exactly
+  the same logs (the PR-1 equivalence, now swept exhaustively);
+* **subprotocols-in-star** — a log accepted by any MT(h) without the
+  lines 9-10 fallback (h <= k) is accepted by MT(k*) (Theorem 5);
+* **theorem3** — TO(2q-1) = TO(K) for K >= 2q-1 (the saturation
+  collapse), probed at K = 2q+1;
+* **fig4-regions** — the full membership vector maps into one of the
+  twelve Fig. 4 regions without violating a known inclusion
+  (:func:`~repro.classes.hierarchy.region_of` raises otherwise).
+
+``exhaustive_check(3, 2, 2)`` covers 472k concrete logs / ~40k canonical
+classes in under a minute and is CI's standing `conformance` gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..classes.hierarchy import InconsistentMembership, classify, region_of
+from ..classes.to import is_to1_declarative
+from ..core.composite import MTkStarScheduler
+from ..core.mtk import MTkScheduler
+from ..engine.to_scheduler import ConventionalTOScheduler
+from ..model.generator import canonical_form, enumerate_multistep_logs
+from ..model.log import Log
+from .oracle import SerializabilityOracle
+
+_CANONICAL_ITEMS = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance failure: which rule broke on which log."""
+
+    rule: str
+    log: str
+    detail: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"rule": self.rule, "log": self.log, "detail": self.detail}
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of one exhaustive sweep."""
+
+    num_txns: int
+    ops_per_txn: int
+    num_items: int
+    total_logs: int = 0
+    canonical_logs: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    region_counts: dict[int, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": "exhaustive",
+            "scope": {
+                "num_txns": self.num_txns,
+                "ops_per_txn": self.ops_per_txn,
+                "num_items": self.num_items,
+            },
+            "total_logs": self.total_logs,
+            "canonical_logs": self.canonical_logs,
+            "region_counts": {
+                str(region): count
+                for region, count in sorted(self.region_counts.items())
+            },
+            "violations": [v.to_dict() for v in self.violations],
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class _Checker:
+    """Per-log conformance rules with scheduler instances reused across
+    the whole sweep (``accepts`` resets them; construction is the
+    expensive part at ~40k logs)."""
+
+    def __init__(self, ks: Sequence[int], star_k: int) -> None:
+        self.ks = tuple(sorted(set(ks)))
+        self.star_k = star_k
+        self.oracle = SerializabilityOracle()
+        self._mt: dict[int, MTkScheduler] = {}
+        self._mt_none: dict[int, MTkScheduler] = {}
+        self._star = MTkStarScheduler(star_k)
+        self._to = ConventionalTOScheduler()
+
+    def _scheduler(self, k: int) -> MTkScheduler:
+        if k not in self._mt:
+            self._mt[k] = MTkScheduler(k)
+        return self._mt[k]
+
+    def _scheduler_none(self, k: int) -> MTkScheduler:
+        if k not in self._mt_none:
+            self._mt_none[k] = MTkScheduler(k, read_rule="none")
+        return self._mt_none[k]
+
+    def check(self, log: Log) -> tuple[list[Violation], int | None]:
+        """All rules against one log; returns (violations, Fig. 4 region)."""
+        violations: list[Violation] = []
+        text = str(log)
+        dsr = self.oracle.is_dsr(log)
+
+        q = log.max_ops_per_txn
+        saturation = max(1, 2 * q - 1)
+        probe_ks = sorted(set(self.ks) | {saturation, saturation + 2})
+
+        accepted: dict[int, bool] = {}
+        for k in probe_ks:
+            accepted[k] = self._scheduler(k).accepts(log)
+            # theorem2: MT(k) accepts only DSR logs.
+            if accepted[k] and not dsr:
+                violations.append(
+                    Violation(
+                        "theorem2", text, f"MT({k}) accepted a non-DSR log"
+                    )
+                )
+
+        # definition6: certify every accepted run among the probed ks.
+        for k in self.ks:
+            if not accepted[k]:
+                continue
+            replay = self.oracle.definition6_replay(
+                log, k, scheduler=self._scheduler(k)
+            )
+            if not replay.certified:
+                violations.append(
+                    Violation(
+                        "definition6",
+                        text,
+                        f"MT({k}) run not certified: numbers_verify="
+                        f"{replay.numbers_verify} ranges_verify="
+                        f"{replay.ranges_verify} order_is_serial="
+                        f"{replay.order_is_serial}",
+                    )
+                )
+
+        # theorem3: the TO(k) family saturates at 2q-1.
+        if accepted[saturation] != accepted[saturation + 2]:
+            violations.append(
+                Violation(
+                    "theorem3",
+                    text,
+                    f"MT({saturation}) accepted={accepted[saturation]} but "
+                    f"MT({saturation + 2}) accepted={accepted[saturation + 2]}"
+                    f" (q={q})",
+                )
+            )
+
+        # to1-declarative: Definition 4 membership implies MT(1) acceptance.
+        mt1 = accepted.get(1, self._scheduler(1).accepts(log))
+        if is_to1_declarative(log) and not mt1:
+            violations.append(
+                Violation(
+                    "to1-declarative",
+                    text,
+                    "log satisfies Definition 4 but MT(1) rejected it",
+                )
+            )
+
+        # mt1-scalar-to: MT(1) and conventional TO accept the same logs.
+        to_accepts = self._to.accepts(log)
+        if mt1 != to_accepts:
+            violations.append(
+                Violation(
+                    "mt1-scalar-to",
+                    text,
+                    f"MT(1) accepted={mt1} but TO(scalar) "
+                    f"accepted={to_accepts}",
+                )
+            )
+
+        # subprotocols-in-star: Theorem 5 coverage of the composite.
+        if not self._star.accepts(log):
+            for h in range(1, self.star_k + 1):
+                if self._scheduler_none(h).accepts(log):
+                    violations.append(
+                        Violation(
+                            "subprotocols-in-star",
+                            text,
+                            f"MT({h}) [read_rule=none] accepts but "
+                            f"MT({self.star_k}*) rejects",
+                        )
+                    )
+                    break
+
+        # fig4-regions: the membership vector lands in a legal region.
+        region: int | None = None
+        try:
+            region = region_of(classify(log))
+        except InconsistentMembership as exc:
+            violations.append(Violation("fig4-regions", text, str(exc)))
+        return violations, region
+
+
+def exhaustive_check(
+    num_txns: int,
+    ops_per_txn: int,
+    num_items: int,
+    ks: Sequence[int] = (1, 2, 3),
+    star_k: int = 3,
+    limit: int | None = None,
+    max_violations: int = 100,
+    progress: Callable[[int, int], None] | None = None,
+) -> ExhaustiveResult:
+    """Sweep the whole (n x q x m) log space through every conformance
+    rule.
+
+    ``limit`` caps the number of *canonical* logs checked (tests use it;
+    the CI gate runs unlimited).  ``progress(checked, total_seen)`` is
+    invoked every 5000 canonical logs.  At most *max_violations*
+    violations are recorded in detail; sweeping continues regardless so
+    the total count stays honest.
+    """
+    if num_items > len(_CANONICAL_ITEMS):
+        raise ValueError("num_items too large for canonical item names")
+    items = tuple(_CANONICAL_ITEMS[:num_items])
+    checker = _Checker(ks, star_k)
+    result = ExhaustiveResult(num_txns, ops_per_txn, num_items)
+    seen: set[tuple] = set()
+    started = time.perf_counter()
+    overflow = 0
+    for log in enumerate_multistep_logs(num_txns, ops_per_txn, items):
+        result.total_logs += 1
+        canonical = canonical_form(log)
+        key = canonical.operations
+        if key in seen:
+            continue
+        seen.add(key)
+        result.canonical_logs += 1
+        violations, region = checker.check(canonical)
+        if region is not None:
+            result.region_counts[region] = (
+                result.region_counts.get(region, 0) + 1
+            )
+        for violation in violations:
+            if len(result.violations) < max_violations:
+                result.violations.append(violation)
+            else:
+                overflow += 1
+        if progress is not None and result.canonical_logs % 5000 == 0:
+            progress(result.canonical_logs, result.total_logs)
+        if limit is not None and result.canonical_logs >= limit:
+            break
+    if overflow:
+        result.violations.append(
+            Violation(
+                "overflow",
+                "",
+                f"{overflow} further violations suppressed "
+                f"(max_violations={max_violations})",
+            )
+        )
+    result.elapsed_s = time.perf_counter() - started
+    return result

@@ -1,0 +1,407 @@
+"""Differential fuzzer with counterexample shrinking.
+
+Where :mod:`repro.check.enumerate` proves small scopes exhaustively, this
+module probes *larger* random workloads by running identical operation
+streams through every scheduler in the repo and cross-checking the
+outcomes against the paper's (empirically verified) class hierarchy:
+
+* any acceptance-mode scheduler built on Theorem 2 — MT(k) in all
+  read-rule variants, the anti-starvation and hot-item-encoding builds,
+  MT(k*), DMT(k), conventional TO, strict 2PL — may accept only DSR logs
+  (rule ``accept-implies-dsr``);
+* MT(1) and conventional scalar TO must make identical accept decisions
+  (``mt1-equals-to``);
+* a log accepted by any fallback-free MT(h), h <= k, must be accepted by
+  MT(k*) — Theorem 5 (``subprotocols-in-star``);
+* a flat log accepted by MVMT(k) must be *view-equivalent* to the serial
+  replay in the scheduler's own serialization order — multiversion
+  correctness is view-level, not conflict-level (``mv-view``);
+* MT(k) decisions must be bit-identical with the Definition 6 comparison
+  cache disabled (``cache-equivalence``, the hot-path guard);
+* end-to-end executor runs (immediate/deferred writes, full/partial
+  rollback, anti-starvation, optimistic validation) must commit a DSR
+  projection with disjoint committed/failed sets (``executor-dsr``,
+  ``executor-overlap``).
+
+Intentionally *not* checked, because they are false: TO(k) monotonicity
+in ``k`` (Fig. 4 regions 2 and 6 are real), flat-log DSR for the
+optimistic scheduler (Kung-Robinson is only sound under deferred
+writes — it is checked through the executor instead), and flat-log DSR
+for MVMT (see ``mv-view``).
+
+A failing case is shrunk with :func:`repro.check.shrink.ddmin` to a
+1-minimal operation subsequence that still trips the same rule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..core.composite import MTkStarScheduler
+from ..core.distributed import DMTkScheduler
+from ..core.mtk import MTkScheduler
+from ..core.multiversion import MVMTkScheduler
+from ..core.protocol import Scheduler
+from ..core.table import OptimizedEncoding
+from ..engine.executor import TransactionExecutor
+from ..engine.optimistic import OptimisticScheduler
+from ..engine.to_scheduler import ConventionalTOScheduler
+from ..engine.two_pl_scheduler import StrictTwoPLScheduler
+from ..model.generator import WorkloadSpec, generate_transactions, interleave
+from ..model.log import Log
+from .enumerate import Violation
+from .oracle import SerializabilityOracle, serial_reads_from
+from .shrink import ddmin
+
+SchedulerFactory = Callable[[], Scheduler]
+
+#: Matrix entries whose acceptance does NOT imply flat-log DSR: the
+#: multiversion scheduler reads old versions (its soundness is the
+#: ``mv-view`` rule) and the optimistic scheduler assumes deferred
+#: writes (checked through the executor).
+_NOT_FLAT_DSR = frozenset({"mv2", "opt"})
+
+
+def default_matrix() -> dict[str, SchedulerFactory]:
+    """Every acceptance-mode scheduler in the repo, by short name.
+
+    To fuzz a new scheduler, add a factory here (or pass a custom mapping
+    to :func:`check_case`): unless its name is in ``_NOT_FLAT_DSR`` it is
+    automatically held to the accept-implies-DSR rule, and the
+    name-triggered rules (``mt1``/``to``, ``mt*_none``/``mtstar3``)
+    activate when their participants are present.
+    """
+    return {
+        "mt1": lambda: MTkScheduler(1),
+        "mt2": lambda: MTkScheduler(2),
+        "mt3": lambda: MTkScheduler(3),
+        "mt1_none": lambda: MTkScheduler(1, read_rule="none"),
+        "mt2_none": lambda: MTkScheduler(2, read_rule="none"),
+        "mt3_none": lambda: MTkScheduler(3, read_rule="none"),
+        "mt2_anti": lambda: MTkScheduler(2, anti_starvation=True),
+        "mt2_hot": lambda: MTkScheduler(
+            2, encoding=OptimizedEncoding(is_hot=lambda item: True)
+        ),
+        "mtstar3": lambda: MTkStarScheduler(3),
+        "mv2": lambda: MVMTkScheduler(2),
+        "to": lambda: ConventionalTOScheduler(),
+        "2pl": lambda: StrictTwoPLScheduler(),
+        "opt": lambda: OptimisticScheduler(),
+        "dmt2": lambda: DMTkScheduler(2),
+    }
+
+
+#: Executor configurations exercised per case: (name, scheduler factory,
+#: executor kwargs).  Each must commit a DSR projection.
+_EXECUTOR_CONFIGS: tuple[tuple[str, SchedulerFactory, dict[str, Any]], ...] = (
+    ("mt2", lambda: MTkScheduler(2), {}),
+    ("mt2_anti", lambda: MTkScheduler(2, anti_starvation=True), {}),
+    (
+        "mt2_partial",
+        lambda: MTkScheduler(2, partial_rollback=True),
+        {"rollback": "partial"},
+    ),
+    ("to", lambda: ConventionalTOScheduler(), {}),
+    ("2pl", lambda: StrictTwoPLScheduler(), {}),
+    ("opt", lambda: OptimisticScheduler(), {"write_policy": "deferred"}),
+)
+
+
+def check_case(
+    log: Log,
+    matrix: Mapping[str, SchedulerFactory] | None = None,
+    oracle: SerializabilityOracle | None = None,
+    run_executor: bool = True,
+    check_cache: bool = True,
+) -> list[Violation]:
+    """Run one log through the whole matrix; return every rule violation.
+
+    A correct repo returns ``[]`` for every log.  The function is
+    deterministic in *log*, which is what makes ddmin shrinking valid.
+    """
+    matrix = default_matrix() if matrix is None else matrix
+    oracle = oracle if oracle is not None else SerializabilityOracle()
+    violations: list[Violation] = []
+    text = str(log)
+    dsr = oracle.is_dsr(log)
+
+    accepted: dict[str, bool] = {}
+    schedulers: dict[str, Scheduler] = {}
+    for name, factory in matrix.items():
+        scheduler = factory()
+        schedulers[name] = scheduler
+        accepted[name] = scheduler.accepts(log)
+        if accepted[name] and not dsr and name not in _NOT_FLAT_DSR:
+            violations.append(
+                Violation(
+                    "accept-implies-dsr",
+                    text,
+                    f"{name} accepted a non-DSR log",
+                )
+            )
+
+    if "mt1" in accepted and "to" in accepted:
+        if accepted["mt1"] != accepted["to"]:
+            violations.append(
+                Violation(
+                    "mt1-equals-to",
+                    text,
+                    f"mt1 accepted={accepted['mt1']} but scalar TO "
+                    f"accepted={accepted['to']}",
+                )
+            )
+
+    if "mtstar3" in accepted and not accepted["mtstar3"]:
+        for name in ("mt1_none", "mt2_none", "mt3_none"):
+            if accepted.get(name):
+                violations.append(
+                    Violation(
+                        "subprotocols-in-star",
+                        text,
+                        f"{name} accepts but mtstar3 rejects (Theorem 5)",
+                    )
+                )
+                break
+
+    if accepted.get("mv2"):
+        mv = schedulers["mv2"]
+        order = mv.serialization_order()
+        if sorted(mv.reads_from()) != sorted(serial_reads_from(log, order)):
+            violations.append(
+                Violation(
+                    "mv-view",
+                    text,
+                    "MVMT(2) reads-from differs from serial replay in its "
+                    f"own serialization order {order}",
+                )
+            )
+
+    if check_cache:
+        baseline = MTkScheduler(3).run(log)
+        uncached = MTkScheduler(3, compare_cache=0).run(log)
+        same_statuses = [d.status for d in baseline.decisions] == [
+            d.status for d in uncached.decisions
+        ]
+        if not same_statuses or baseline.aborted != uncached.aborted:
+            violations.append(
+                Violation(
+                    "cache-equivalence",
+                    text,
+                    "MT(3) decisions differ between compare_cache=0 and "
+                    "the default cache",
+                )
+            )
+
+    if run_executor:
+        violations.extend(executor_violations(log, oracle))
+    return violations
+
+
+def executor_violations(
+    log: Log, oracle: SerializabilityOracle | None = None
+) -> list[Violation]:
+    """End-to-end checks: each executor configuration replays *log*'s
+    transaction programs along *log*'s interleaving and must commit a DSR
+    projection with committed and failed sets disjoint."""
+    oracle = oracle if oracle is not None else SerializabilityOracle()
+    violations: list[Violation] = []
+    text = str(log)
+    transactions = list(log.transactions.values())
+    for name, factory, kwargs in _EXECUTOR_CONFIGS:
+        executor = TransactionExecutor(factory(), **kwargs)
+        report = executor.execute(transactions, schedule=log)
+        overlap = report.committed & report.failed
+        if overlap:
+            violations.append(
+                Violation(
+                    "executor-overlap",
+                    text,
+                    f"executor[{name}] committed and failed overlap: "
+                    f"{sorted(overlap)}",
+                )
+            )
+        if not oracle.is_dsr(report.committed_log):
+            violations.append(
+                Violation(
+                    "executor-dsr",
+                    text,
+                    f"executor[{name}] committed a non-DSR projection "
+                    f"{report.committed_log}",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing campaign.  Scope bounds are maxima; each case
+    draws its actual shape from the per-case RNG, so a campaign mixes
+    tiny adversarial logs with busier ones."""
+
+    iterations: int = 200
+    seed: int = 0
+    max_txns: int = 4
+    max_ops_per_txn: int = 3
+    max_items: int = 3
+    shrink: bool = True
+    max_counterexamples: int = 5
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "max_txns": self.max_txns,
+            "max_ops_per_txn": self.max_ops_per_txn,
+            "max_items": self.max_items,
+            "shrink": self.shrink,
+            "max_counterexamples": self.max_counterexamples,
+        }
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A failing case, as found and as shrunk."""
+
+    case: int
+    rule: str
+    detail: str
+    log: str
+    shrunk: str
+    shrunk_ops: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "case": self.case,
+            "rule": self.rule,
+            "detail": self.detail,
+            "log": self.log,
+            "shrunk": self.shrunk,
+            "shrunk_ops": self.shrunk_ops,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    config: FuzzConfig
+    cases: int = 0
+    violations: int = 0
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    rule_counts: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": "fuzz",
+            "config": self.config.to_dict(),
+            "cases": self.cases,
+            "violations": self.violations,
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+            "counterexamples": [c.to_dict() for c in self.counterexamples],
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def _case_log(config: FuzzConfig, rng: random.Random) -> Log:
+    spec = WorkloadSpec(
+        num_txns=rng.randint(2, max(2, config.max_txns)),
+        ops_per_txn=rng.randint(1, config.max_ops_per_txn),
+        num_items=rng.randint(1, config.max_items),
+        write_ratio=rng.choice((0.3, 0.5, 0.8)),
+        vary_length=rng.random() < 0.5,
+    )
+    return interleave(generate_transactions(spec, rng), rng)
+
+
+def shrink_case(
+    log: Log,
+    rule: str,
+    matrix: Mapping[str, SchedulerFactory] | None = None,
+) -> Log:
+    """ddmin a failing log down to a 1-minimal operation subsequence that
+    still violates *rule* (through the same full :func:`check_case`)."""
+    oracle = SerializabilityOracle()
+
+    def still_fails(ops) -> bool:
+        sub = Log(tuple(ops))
+        return any(
+            v.rule == rule for v in check_case(sub, matrix=matrix, oracle=oracle)
+        )
+
+    minimal = ddmin(tuple(log.operations), still_fails)
+    return Log(tuple(minimal))
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    matrix: Mapping[str, SchedulerFactory] | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FuzzReport:
+    """The campaign loop: generate, cross-check, shrink.
+
+    Each case is seeded from ``(config.seed, case_index)``, so any single
+    case replays independently of the rest of the campaign.  At most
+    ``max_counterexamples`` failures are shrunk (shrinking dominates the
+    cost of a failing campaign); later failures are still counted.
+    """
+    oracle = SerializabilityOracle()
+    report = FuzzReport(config=config)
+    started = time.perf_counter()
+    for case in range(config.iterations):
+        rng = random.Random(f"{config.seed}:{case}")
+        log = _case_log(config, rng)
+        violations = check_case(log, matrix=matrix, oracle=oracle)
+        report.cases += 1
+        report.violations += len(violations)
+        for violation in violations:
+            report.rule_counts[violation.rule] = (
+                report.rule_counts.get(violation.rule, 0) + 1
+            )
+        if violations and len(report.counterexamples) < config.max_counterexamples:
+            worst = violations[0]
+            shrunk = (
+                shrink_case(log, worst.rule, matrix=matrix)
+                if config.shrink
+                else log
+            )
+            report.counterexamples.append(
+                Counterexample(
+                    case=case,
+                    rule=worst.rule,
+                    detail=worst.detail,
+                    log=str(log),
+                    shrunk=str(shrunk),
+                    shrunk_ops=len(shrunk),
+                )
+            )
+        if progress is not None and (case + 1) % 50 == 0:
+            progress(case + 1, report.violations)
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def dump_counterexample_traces(report: FuzzReport, directory) -> list[str]:
+    """Replay each shrunk counterexample through a tracing MT(2) and dump
+    the event stream as JSONL files under *directory* (one file per
+    counterexample).  Returns the written paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    for index, example in enumerate(report.counterexamples):
+        scheduler = MTkScheduler(2, trace=True)
+        scheduler.run(Log.parse(example.shrunk))
+        path = os.path.join(directory, f"counterexample_{index}.jsonl")
+        scheduler.events.dump(path)
+        paths.append(path)
+    return paths

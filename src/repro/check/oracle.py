@@ -1,0 +1,387 @@
+"""The unified serializability oracle behind every conformance check.
+
+Theorem 2 (MT(k) accepts only DSR logs) and the Fig. 4 hierarchy are the
+paper's correctness core.  This module is their *independent judge*: one
+place that owns the conflict-graph construction, the view-serializability
+brute force, and the Definition 6 replay certificate, so the scattered
+deciders (``classes.membership``, ``analysis.certificate``, the
+differential tests) all delegate to a single implementation instead of
+hand-rolling their own pair enumerations.
+
+Three layers:
+
+* **Primitives** — :func:`ordered_item_pairs`, :func:`precedence_pairs`,
+  :func:`conflict_graph`, :func:`augmented_conflict_graph`,
+  :func:`vector_order_pairs`: the shared builders everything else is
+  phrased in.
+* **Verdicts** — :class:`Verdict` is the tri-state answer of a decision
+  procedure that may legitimately give up (view serializability is
+  NP-complete; past the brute-force bound the oracle says ``UNKNOWN``
+  instead of guessing).
+* **The oracle** — :class:`SerializabilityOracle` bundles conflict-graph
+  DSR, view-SR brute force and the Definition 6 replay into one object
+  with a memoised :meth:`report` per log, used by the exhaustive
+  enumerator (:mod:`repro.check.enumerate`) and the differential fuzzer
+  (:mod:`repro.check.fuzz`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..model.dependency import DependencyGraph
+from ..model.log import Log
+from ..model.operations import Operation
+
+#: Sentinel "writer" of an item's initial value (the virtual ``T_0``).
+INITIAL = 0
+
+
+class Verdict(enum.Enum):
+    """Tri-state answer of a decision procedure that may give up."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def of(cls, value: bool) -> "Verdict":
+        return cls.YES if value else cls.NO
+
+    @property
+    def is_yes(self) -> bool:
+        return self is Verdict.YES
+
+    @property
+    def is_no(self) -> bool:
+        return self is Verdict.NO
+
+    @property
+    def decided(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+
+class ViewSerializabilityUnknown(ValueError):
+    """The view-SR brute force refused to run (too many transactions).
+
+    Subclasses ``ValueError`` so callers that guarded against the old
+    generic error keep working; new callers should prefer the tri-state
+    :meth:`SerializabilityOracle.view_serializability` and handle
+    :attr:`Verdict.UNKNOWN` explicitly.
+    """
+
+
+# ----------------------------------------------------------------------
+# Primitives: the shared pair/graph builders
+# ----------------------------------------------------------------------
+def ordered_item_pairs(
+    log: Log, include_read_read: bool = False
+) -> Iterator[tuple[Operation, Operation]]:
+    """Ordered pairs ``(earlier, later)`` of same-item operations from
+    different transactions where at least one writes — Definition 1's
+    conflicting pairs — optionally widened with read-read pairs
+    (Definition 3 condition iv).
+
+    This is the one loop behind the dependency graph, the certificate
+    verifier and the declarative TO(1) test.
+    """
+    ops = log.operations
+    for later_index, later in enumerate(ops):
+        for earlier in ops[:later_index]:
+            if earlier.txn == later.txn or earlier.item != later.item:
+                continue
+            if earlier.kind.is_write or later.kind.is_write:
+                yield earlier, later
+            elif include_read_read:
+                yield earlier, later
+
+
+def conflict_graph(log: Log) -> DependencyGraph:
+    """The dependency digraph of Definition 7 i) (edge per conflicting
+    ordered pair)."""
+    return DependencyGraph.of_log(log)
+
+
+def precedence_pairs(log: Log) -> set[tuple[int, int]]:
+    """Real-time precedence: ``(i, j)`` when ``T_i``'s last operation comes
+    before ``T_j``'s first operation in the log."""
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    for position, op in enumerate(log):
+        first.setdefault(op.txn, position)
+        last[op.txn] = position
+    pairs: set[tuple[int, int]] = set()
+    for i in log.txn_ids:
+        for j in log.txn_ids:
+            if i != j and last[i] < first[j]:
+                pairs.add((i, j))
+    return pairs
+
+
+def augmented_conflict_graph(log: Log) -> DependencyGraph:
+    """Dependency digraph plus real-time precedence edges — acyclicity of
+    this graph is exactly strict (conflict) serializability."""
+    graph = conflict_graph(log)
+    for i, j in precedence_pairs(log):
+        graph.add_edge(i, j)
+    return graph
+
+
+def vector_order_pairs(
+    vector_of: Callable[[int], object],
+    txns: Sequence[int],
+    compare: Callable[[object, object], object] | None = None,
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Pairwise Definition 6 comparison sweep over timestamp vectors.
+
+    Returns ``(ordered, incomparable)`` pair lists; an ordered pair
+    ``(a, b)`` means ``TS(a) < TS(b)``.  Shared by the degree-of-partial-
+    order analysis and the serialization-order cross checks.
+    """
+    from ..core.timestamp import Ordering
+    from ..core.timestamp import compare as default_compare
+
+    cmp = compare if compare is not None else default_compare
+    ordered: list[tuple[int, int]] = []
+    incomparable: list[tuple[int, int]] = []
+    for a, b in itertools.combinations(txns, 2):
+        ordering = cmp(vector_of(a), vector_of(b)).ordering
+        if ordering is Ordering.LESS:
+            ordered.append((a, b))
+        elif ordering is Ordering.GREATER:
+            ordered.append((b, a))
+        else:
+            incomparable.append((a, b))
+    return ordered, incomparable
+
+
+# ----------------------------------------------------------------------
+# View-level primitives (the paper's outer class SR)
+# ----------------------------------------------------------------------
+def reads_from(log: Log) -> list[tuple[int, str, int]]:
+    """The reads-from relation: ``(reader, item, writer)`` per read, where
+    the writer is the most recent earlier write of the item (``INITIAL``
+    when the item has not been written yet)."""
+    last_writer: dict[str, int] = {}
+    relation: list[tuple[int, str, int]] = []
+    for op in log:
+        if op.kind.is_read:
+            relation.append(
+                (op.txn, op.item, last_writer.get(op.item, INITIAL))
+            )
+        else:
+            last_writer[op.item] = op.txn
+    return relation
+
+
+def final_writers(log: Log) -> dict[str, int]:
+    """The last writer of each written item."""
+    writers: dict[str, int] = {}
+    for op in log:
+        if op.kind.is_write:
+            writers[op.item] = op.txn
+    return writers
+
+
+def serial_log(log: Log, order: Sequence[int]) -> Log:
+    """The serial log running *log*'s transactions in *order*."""
+    transactions = log.transactions
+    ops: list[Operation] = []
+    for txn_id in order:
+        ops.extend(transactions[txn_id].operations)
+    return Log(tuple(ops))
+
+
+def serial_reads_from(
+    log: Log, order: Sequence[int]
+) -> list[tuple[int, str, int]]:
+    """Reads-from of the serial replay of *log*'s transactions in *order*
+    (the multiversion oracle's reference relation)."""
+    return reads_from(serial_log(log, order))
+
+
+def is_view_equivalent(log_a: Log, log_b: Log) -> bool:
+    """Same operations, same reads-from relation, same final writes."""
+    if sorted(map(str, log_a)) != sorted(map(str, log_b)):
+        return False
+    return (
+        sorted(reads_from(log_a)) == sorted(reads_from(log_b))
+        and final_writers(log_a) == final_writers(log_b)
+    )
+
+
+# ----------------------------------------------------------------------
+# Definition 6 replay certificate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayCheck:
+    """Outcome of replaying a log through MT(k) and certifying the run.
+
+    ``accepted`` is the operational TO(k) membership answer; when it is
+    True the remaining flags certify the run against the declarative
+    definitions: ``numbers_verify`` (Definitions 2-3 conditions on the
+    constructed serializability numbers), ``ranges_verify`` (Definition 5
+    condition v) and ``order_is_serial`` (the vector topological order
+    exists and is conflict-compatible with the log)."""
+
+    k: int
+    read_rule: str
+    accepted: bool
+    numbers_verify: bool = True
+    ranges_verify: bool = True
+    order_is_serial: bool = True
+
+    @property
+    def certified(self) -> bool:
+        """The run is fully certified (vacuously true when rejected)."""
+        return not self.accepted or (
+            self.numbers_verify and self.ranges_verify and self.order_is_serial
+        )
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+@dataclass
+class OracleReport:
+    """Everything the oracle can say about one log."""
+
+    log: Log
+    dsr: bool
+    ssr: bool
+    view: Verdict
+    serial_order: list[int] | None = None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class SerializabilityOracle:
+    """Unified serializability judge: conflict-graph DSR, view-SR brute
+    force, and the Definition 6 replay certificate.
+
+    ``max_txns_for_bruteforce`` bounds the factorial view-SR search; past
+    it :meth:`view_serializability` answers :attr:`Verdict.UNKNOWN` (it
+    never silently passes, and never silently takes factorial time).
+    """
+
+    def __init__(self, max_txns_for_bruteforce: int = 8) -> None:
+        self.max_txns_for_bruteforce = max_txns_for_bruteforce
+
+    # -- conflict-level -------------------------------------------------
+    def is_dsr(self, log: Log) -> bool:
+        """Definition 2 / Theorem 1: the dependency digraph is acyclic."""
+        return not conflict_graph(log).has_cycle()
+
+    def dsr_order(self, log: Log) -> list[int] | None:
+        """An equivalent serial order for a DSR log, else ``None``."""
+        return conflict_graph(log).topological_order()
+
+    def is_ssr(self, log: Log) -> bool:
+        """Strict serializability: dependency + precedence edges acyclic."""
+        return not augmented_conflict_graph(log).has_cycle()
+
+    # -- view-level -----------------------------------------------------
+    def view_serializability(self, log: Log) -> Verdict:
+        """SR membership, honestly: YES/NO by brute force over serial
+        orders (with the DSR short-circuit), UNKNOWN past the bound."""
+        if self.is_dsr(log):
+            return Verdict.YES
+        txns = sorted(log.txn_ids)
+        if len(txns) > self.max_txns_for_bruteforce:
+            return Verdict.UNKNOWN
+        target_reads = sorted(reads_from(log))
+        target_final = final_writers(log)
+        for order in itertools.permutations(txns):
+            serial = serial_log(log, order)
+            if (
+                sorted(reads_from(serial)) == target_reads
+                and final_writers(serial) == target_final
+            ):
+                return Verdict.YES
+        return Verdict.NO
+
+    # -- Definition 6 replay --------------------------------------------
+    def definition6_replay(
+        self, log: Log, k: int, read_rule: str = "line9", scheduler=None
+    ) -> ReplayCheck:
+        """Replay *log* through MT(k) and certify the accepted run against
+        Definitions 2-5.
+
+        Condition iv (read-read pairs) is only enforced under
+        ``read_rule="none"``: the lines 9-10 fallback deliberately accepts
+        reads that are *not* ordered after the latest reader, so the
+        read-read condition does not hold for it (the paper's note after
+        Theorem 3).
+
+        Pass a pre-built *scheduler* (matching ``k``/``read_rule``) to
+        reuse one instance across a sweep; ``accepts`` resets it per log.
+        """
+        from ..analysis.certificate import (
+            serializability_numbers,
+            verify_certificate,
+            verify_definition5_ranges,
+        )
+        from ..core.mtk import MTkScheduler
+
+        if scheduler is None:
+            scheduler = MTkScheduler(k, read_rule=read_rule)
+        if not scheduler.accepts(log):
+            return ReplayCheck(k, read_rule, accepted=False)
+        numbers = serializability_numbers(scheduler)
+        numbers_verify = verify_certificate(
+            log, numbers, check_read_read=(read_rule == "none")
+        )
+        ranges_verify = verify_definition5_ranges(scheduler, numbers)
+        order = scheduler.serialization_order()
+        order_is_serial = self._order_respects_conflicts(log, order)
+        return ReplayCheck(
+            k,
+            read_rule,
+            accepted=True,
+            numbers_verify=numbers_verify,
+            ranges_verify=ranges_verify,
+            order_is_serial=order_is_serial,
+        )
+
+    @staticmethod
+    def _order_respects_conflicts(log: Log, order: Sequence[int]) -> bool:
+        position = {txn: index for index, txn in enumerate(order)}
+        if not all(txn in position for txn in log.txn_ids):
+            return False
+        return all(
+            position[earlier.txn] < position[later.txn]
+            for earlier, later in ordered_item_pairs(log)
+        )
+
+    # -- the composite report -------------------------------------------
+    def report(self, log: Log, expect_serializable: bool = True) -> OracleReport:
+        """Judge a (typically committed) log.
+
+        With ``expect_serializable`` the report records a violation when
+        the log is not DSR — the Theorem 2 end-to-end contract for every
+        single-version protocol's committed projection.
+        """
+        dsr = self.is_dsr(log)
+        ssr = self.is_ssr(log)
+        view = self.view_serializability(log)
+        violations: list[str] = []
+        if dsr and view.is_no:
+            violations.append("DSR log judged not view-serializable")
+        if ssr and not dsr:
+            violations.append("SSR log outside DSR")
+        if expect_serializable and not dsr:
+            violations.append(f"committed log is not DSR: {log}")
+        return OracleReport(
+            log=log,
+            dsr=dsr,
+            ssr=ssr,
+            view=view,
+            serial_order=self.dsr_order(log) if dsr else None,
+            violations=violations,
+        )

@@ -1,0 +1,78 @@
+"""Counterexample shrinking: delta debugging over operation sequences.
+
+When the differential fuzzer finds a stream on which a scheduler violates
+an invariant, the raw stream is usually dozens of operations long and
+mostly noise.  :func:`ddmin` reduces it to a *1-minimal* failing
+subsequence — removing any single remaining operation makes the failure
+disappear — using Zeller's classic delta-debugging algorithm (chunk
+removal with complement testing and granularity doubling).
+
+The predicate must be **deterministic**: it receives a candidate
+subsequence and answers "does the failure still reproduce?".  Dropping
+operations from a log always yields a valid log (each transaction's
+program order is a subsequence of the original), so no repair step is
+needed between candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    failing: Callable[[Sequence[T]], bool],
+    *,
+    max_tests: int = 10_000,
+) -> list[T]:
+    """Minimise *items* while ``failing(subset)`` stays true.
+
+    Returns a 1-minimal failing subsequence (element order preserved).
+    Raises ``ValueError`` if the full input does not fail — the caller
+    handed us a non-counterexample.  ``max_tests`` bounds the number of
+    predicate evaluations; on exhaustion the best reduction so far is
+    returned (still failing, maybe not 1-minimal).
+    """
+    current = list(items)
+    if not failing(current):
+        raise ValueError("ddmin requires a failing input to shrink")
+
+    tests = 0
+    cache: dict[tuple[int, ...], bool] = {}
+
+    def check(candidate: list[T], key: tuple[int, ...]) -> bool:
+        nonlocal tests
+        if key in cache:
+            return cache[key]
+        tests += 1
+        result = failing(candidate)
+        cache[key] = result
+        return result
+
+    # Track candidates by their index signature so the cache survives
+    # re-chunking (identical subsequences are never re-tested).
+    indices = list(range(len(current)))
+    granularity = 2
+    while len(current) >= 2 and tests < max_tests:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and tests < max_tests:
+            complement = current[:start] + current[start + chunk :]
+            complement_idx = indices[:start] + indices[start + chunk :]
+            if complement and check(complement, tuple(complement_idx)):
+                current = complement
+                indices = complement_idx
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the same offset: the next chunk slid into
+                # this window.
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break  # single-element granularity and nothing removable
+            granularity = min(len(current), granularity * 2)
+    return current

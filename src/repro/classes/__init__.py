@@ -2,6 +2,8 @@
 
 from .membership import (
     INITIAL,
+    Verdict,
+    ViewSerializabilityUnknown,
     dsr_order,
     final_writers,
     is_dsr,
@@ -10,6 +12,7 @@ from .membership import (
     is_view_serializable,
     precedence_pairs,
     reads_from,
+    view_serializability,
 )
 from .two_pl import is_two_pl
 from .to import (
@@ -40,6 +43,9 @@ __all__ = [
     "final_writers",
     "is_view_equivalent",
     "is_view_serializable",
+    "view_serializability",
+    "Verdict",
+    "ViewSerializabilityUnknown",
     "is_two_pl",
     "is_tok",
     "to_memberships",

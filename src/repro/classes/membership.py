@@ -13,134 +13,93 @@ classes the hierarchy is drawn against:
   precedence edges.  Polynomial.
 * **SR** (serializable) — view serializability: some serial order yields
   the same reads-from relation and the same final writes.  NP-complete in
-  general; we brute-force the permutations, which is fine for the small
-  logs of the hierarchy census (and short-circuit via DSR, since
-  DSR implies SR).
+  general; the oracle brute-forces the permutations (fine for the small
+  logs of the hierarchy census, with the DSR short-circuit) and answers
+  :attr:`~repro.check.oracle.Verdict.UNKNOWN` past its bound.
 
-The 2PL and TO classes live in :mod:`repro.classes.two_pl` and
+The actual graph/pair construction lives in :mod:`repro.check.oracle` —
+the single implementation every decider and differential test delegates
+to.  The 2PL and TO classes live in :mod:`repro.classes.two_pl` and
 :mod:`repro.classes.to`.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, Sequence
-
-from ..model.dependency import DependencyGraph
+from ..check.oracle import (
+    INITIAL,
+    SerializabilityOracle,
+    Verdict,
+    ViewSerializabilityUnknown,
+    augmented_conflict_graph,
+    conflict_graph,
+    final_writers,
+    is_view_equivalent,
+    precedence_pairs,
+    reads_from,
+)
 from ..model.log import Log
-from ..model.operations import Operation
 
-#: Sentinel "writer" of an item's initial value (the virtual ``T_0``).
-INITIAL = 0
+__all__ = [
+    "INITIAL",
+    "Verdict",
+    "ViewSerializabilityUnknown",
+    "dsr_order",
+    "final_writers",
+    "is_dsr",
+    "is_ssr",
+    "is_view_equivalent",
+    "is_view_serializable",
+    "precedence_pairs",
+    "reads_from",
+    "view_serializability",
+]
 
 
 def is_dsr(log: Log) -> bool:
     """Definition 2 / Theorem 1: the dependency relation is a partial order."""
-    return not DependencyGraph.of_log(log).has_cycle()
+    return not conflict_graph(log).has_cycle()
 
 
 def dsr_order(log: Log) -> list[int] | None:
     """An equivalent serial order for a DSR log (topological sort of the
     dependency digraph), or ``None`` if the log is not DSR."""
-    return DependencyGraph.of_log(log).topological_order()
-
-
-def precedence_pairs(log: Log) -> set[tuple[int, int]]:
-    """Real-time precedence: ``(i, j)`` when ``T_i``'s last operation comes
-    before ``T_j``'s first operation in the log."""
-    first: dict[int, int] = {}
-    last: dict[int, int] = {}
-    for position, op in enumerate(log):
-        first.setdefault(op.txn, position)
-        last[op.txn] = position
-    pairs: set[tuple[int, int]] = set()
-    for i in log.txn_ids:
-        for j in log.txn_ids:
-            if i != j and last[i] < first[j]:
-                pairs.add((i, j))
-    return pairs
+    return conflict_graph(log).topological_order()
 
 
 def is_ssr(log: Log) -> bool:
     """Strict (conflict) serializability: dependency + precedence edges are
     jointly acyclic, so some topological order is both conflict-equivalent
     and respects real-time order."""
-    graph = DependencyGraph.of_log(log)
-    for i, j in precedence_pairs(log):
-        graph.add_edge(i, j)
-    return not graph.has_cycle()
+    return not augmented_conflict_graph(log).has_cycle()
 
 
 # ----------------------------------------------------------------------
 # View serializability (the paper's outer class SR)
 # ----------------------------------------------------------------------
-def reads_from(log: Log) -> list[tuple[int, str, int]]:
-    """The reads-from relation: ``(reader, item, writer)`` per read, where
-    the writer is the most recent earlier write of the item (``INITIAL``
-    when the item has not been written yet).  A transaction reads its own
-    earlier write like anyone else's."""
-    last_writer: dict[str, int] = {}
-    relation: list[tuple[int, str, int]] = []
-    for op in log:
-        if op.kind.is_read:
-            relation.append(
-                (op.txn, op.item, last_writer.get(op.item, INITIAL))
-            )
-        else:
-            last_writer[op.item] = op.txn
-    return relation
-
-
-def final_writers(log: Log) -> dict[str, int]:
-    """The last writer of each written item."""
-    writers: dict[str, int] = {}
-    for op in log:
-        if op.kind.is_write:
-            writers[op.item] = op.txn
-    return writers
-
-
-def _serial_log(log: Log, order: Sequence[int]) -> Log:
-    transactions = log.transactions
-    ops: list[Operation] = []
-    for txn_id in order:
-        ops.extend(transactions[txn_id].operations)
-    return Log(tuple(ops))
-
-
-def is_view_equivalent(log_a: Log, log_b: Log) -> bool:
-    """Same operations, same reads-from relation, same final writes."""
-    if sorted(map(str, log_a)) != sorted(map(str, log_b)):
-        return False
-    return (
-        sorted(reads_from(log_a)) == sorted(reads_from(log_b))
-        and final_writers(log_a) == final_writers(log_b)
+def view_serializability(
+    log: Log, max_txns_for_bruteforce: int = 8
+) -> Verdict:
+    """Tri-state SR membership: YES/NO by brute force (with the DSR
+    short-circuit), UNKNOWN when the transaction count exceeds
+    *max_txns_for_bruteforce* — never a silent pass, never factorial
+    time."""
+    return SerializabilityOracle(max_txns_for_bruteforce).view_serializability(
+        log
     )
 
 
 def is_view_serializable(log: Log, max_txns_for_bruteforce: int = 8) -> bool:
-    """SR membership by brute force over serial orders.
+    """SR membership as a boolean, for callers that need a decision.
 
-    DSR logs are accepted immediately (conflict serializability implies
-    view serializability).  Non-DSR logs are checked against every
-    permutation of their transactions; logs with more than
-    *max_txns_for_bruteforce* transactions raise rather than silently take
-    factorial time.
+    Raises :class:`~repro.check.oracle.ViewSerializabilityUnknown` (a
+    ``ValueError``) instead of guessing when the log is too large for the
+    brute force; use :func:`view_serializability` to handle the UNKNOWN
+    verdict without exception plumbing.
     """
-    if is_dsr(log):
-        return True
-    txns = sorted(log.txn_ids)
-    if len(txns) > max_txns_for_bruteforce:
-        raise ValueError(
-            f"refusing brute-force view test over {len(txns)} transactions"
+    verdict = view_serializability(log, max_txns_for_bruteforce)
+    if not verdict.decided:
+        raise ViewSerializabilityUnknown(
+            f"refusing brute-force view test over {len(log.txn_ids)} "
+            f"transactions (bound {max_txns_for_bruteforce})"
         )
-    target_reads = sorted(reads_from(log))
-    target_final = final_writers(log)
-    for order in itertools.permutations(txns):
-        serial = _serial_log(log, order)
-        if (
-            sorted(reads_from(serial)) == target_reads
-            and final_writers(serial) == target_final
-        ):
-            return True
-    return False
+    return verdict.is_yes

@@ -20,8 +20,7 @@ operationally.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
+from ..check.oracle import ordered_item_pairs
 from ..core.mtk import MTkScheduler
 from ..model.log import Log
 
@@ -53,15 +52,9 @@ def is_to1_declarative(log: Log) -> bool:
     read-read pair on a common item must agree as well.
     """
     s = first_positions(log)
-    ops = log.operations
-    for later_index, later in enumerate(ops):
-        for earlier in ops[:later_index]:
-            if earlier.txn == later.txn or earlier.item != later.item:
-                continue
-            conflicting = earlier.kind.is_write or later.kind.is_write
-            read_read = earlier.kind.is_read and later.kind.is_read
-            if (conflicting or read_read) and not s[earlier.txn] < s[later.txn]:
-                return False
+    for earlier, later in ordered_item_pairs(log, include_read_read=True):
+        if not s[earlier.txn] < s[later.txn]:
+            return False
     return True
 
 

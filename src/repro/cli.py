@@ -15,6 +15,10 @@ Commands
     Run the consolidated benchmark scenarios and write ``BENCH_repro.json``;
     ``--jobs`` fans scenario×seed cells over a process pool, ``--profile``
     attaches cProfile hotspot breakdowns.
+``check [--exhaustive N Q M | --fuzz N --seed S] [--json] [--out PATH]``
+    Conformance oracle: exhaustively sweep every log of a small scope, or
+    differentially fuzz all schedulers against the class hierarchy and
+    shrink any failure to a minimal counterexample.
 """
 
 from __future__ import annotations
@@ -195,6 +199,84 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .check.enumerate import exhaustive_check
+    from .check.fuzz import FuzzConfig, dump_counterexample_traces, run_fuzz
+
+    if args.exhaustive is None and args.fuzz is None:
+        print("error: pick a mode: --exhaustive N Q M or --fuzz N")
+        return 2
+
+    quiet = args.json
+
+    def sweep_progress(checked: int, seen: int) -> None:
+        if not quiet:
+            print(f"  ... {checked} canonical logs checked ({seen} seen)")
+
+    def fuzz_progress(cases: int, violations: int) -> None:
+        if not quiet:
+            print(f"  ... {cases} cases fuzzed ({violations} violations)")
+
+    payloads = []
+    counterexample_report = None
+    if args.exhaustive is not None:
+        n, q, m = args.exhaustive
+        result = exhaustive_check(
+            n, q, m, limit=args.limit, progress=sweep_progress
+        )
+        payloads.append(result.to_dict())
+        if not args.json:
+            print(
+                f"exhaustive {n}x{q}x{m}: {result.total_logs} logs, "
+                f"{result.canonical_logs} canonical, "
+                f"{len(result.violations)} violations "
+                f"({result.elapsed_s:.1f}s)"
+            )
+            for violation in result.violations[:10]:
+                print(f"  [{violation.rule}] {violation.log}")
+                print(f"      {violation.detail}")
+    if args.fuzz is not None:
+        config = FuzzConfig(
+            iterations=args.fuzz, seed=args.seed, shrink=not args.no_shrink
+        )
+        report = run_fuzz(config, progress=fuzz_progress)
+        counterexample_report = report
+        payloads.append(report.to_dict())
+        if not args.json:
+            print(
+                f"fuzz: {report.cases} cases, {report.violations} "
+                f"violations ({report.elapsed_s:.1f}s)"
+            )
+            for example in report.counterexamples:
+                print(
+                    f"  [{example.rule}] case {example.case} shrunk to "
+                    f"{example.shrunk_ops} ops: {example.shrunk}"
+                )
+                print(f"      {example.detail}")
+    payload = payloads[0] if len(payloads) == 1 else {"runs": payloads}
+    ok = all(p.get("ok", True) for p in payloads)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        if not args.json:
+            print(f"wrote {args.out}")
+    if (
+        args.trace_dir
+        and counterexample_report is not None
+        and counterexample_report.counterexamples
+    ):
+        for path in dump_counterexample_traces(
+            counterexample_report, args.trace_dir
+        ):
+            if not args.json:
+                print(f"trace: {path}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -264,6 +346,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list scenarios and exit"
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_check = sub.add_parser(
+        "check", help="conformance oracle: exhaustive sweep / fuzzing"
+    )
+    p_check.add_argument(
+        "--exhaustive",
+        nargs=3,
+        type=int,
+        metavar=("N", "Q", "M"),
+        help="sweep every log of N txns x Q ops x M items",
+    )
+    p_check.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="CASES",
+        help="differentially fuzz CASES random workloads",
+    )
+    p_check.add_argument(
+        "--seed", type=int, default=0, help="fuzz campaign seed"
+    )
+    p_check.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw counterexamples without ddmin shrinking",
+    )
+    p_check.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of canonical logs swept (smoke mode)",
+    )
+    p_check.add_argument("--json", action="store_true", help="JSON to stdout")
+    p_check.add_argument(
+        "--out", default=None, metavar="PATH", help="write JSON report here"
+    )
+    p_check.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="dump per-counterexample MT(2) event traces as JSONL",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -1,0 +1,73 @@
+"""Fuzz regression corpus: frozen logs that once exposed (or guard
+against) real bugs.
+
+Each ``tests/corpus/*.json`` file records one log with its expected
+acceptance vector across the whole protocol matrix, frozen at the time
+the case was added.  The tests assert (a) the acceptance decisions have
+not drifted, and (b) the full differential cross-check still passes —
+so a regression in any scheduler trips the exact case that found it.
+
+The PR-1 bugs live here permanently: the read-own-write line 9-10
+rejection, the SiteTaggedCounters reset (via DMT(2) replay), and the
+OptimizedEncoding prefix holes (via the hot-item MT(2) build).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.fuzz import check_case, default_matrix
+from repro.check.oracle import SerializabilityOracle
+from repro.model.log import Log
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 5
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_acceptance_vector_is_frozen(path):
+    case = _load(path)
+    log = Log.parse(case["log"])
+    matrix = default_matrix()
+    expected = case["expect"]["accepts"]
+    # Every frozen protocol must still exist in the matrix...
+    missing = set(expected) - set(matrix)
+    assert not missing, f"matrix lost protocols {missing}"
+    # ... and decide exactly as recorded.
+    for name, want in expected.items():
+        got = matrix[name]().accepts(log)
+        assert got == want, f"{path.stem}: {name} flipped to {got}"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_dsr_verdict_is_frozen(path):
+    case = _load(path)
+    log = Log.parse(case["log"])
+    assert SerializabilityOracle().is_dsr(log) == case["expect"]["dsr"]
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_full_cross_check_passes(path):
+    case = _load(path)
+    log = Log.parse(case["log"])
+    violations = check_case(log)
+    assert violations == [], [v.to_dict() for v in violations]
+
+
+def test_pr1_bug_cases_present():
+    names = {path.stem for path in CASES}
+    assert {
+        "read-own-write",
+        "dmt-site-tagged-reset",
+        "hot-encoding-example3",
+    } <= names

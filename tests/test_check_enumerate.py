@@ -1,0 +1,77 @@
+"""Exhaustive small-scope sweep (``repro.check.enumerate``)."""
+
+import pytest
+
+from repro.check.enumerate import exhaustive_check
+from repro.model.generator import (
+    canonical_form,
+    enumerate_multistep_logs,
+    enumerate_multistep_programs,
+)
+from repro.model.log import Log
+
+
+class TestEnumerators:
+    def test_program_count_one_txn(self):
+        # length 1: 2 kinds x 2 items = 4; length 2: 4^2 = 16.
+        programs = list(enumerate_multistep_programs(1, 2, ("a", "b")))
+        assert len(programs) == 4 + 16
+
+    def test_logs_cover_population_sizes(self):
+        logs = list(enumerate_multistep_logs(2, 1, ("a",)))
+        # 1 txn: R/W on a (2 logs); 2 txns: 2x2 programs x 2 interleavings.
+        populations = {len(log.txn_ids) for log in logs}
+        assert populations == {1, 2}
+
+    def test_canonical_form_renames_by_first_appearance(self):
+        log = Log.parse("W7[q] R3[z] W7[z]")
+        assert str(canonical_form(log)) == "W1[a] R2[b] W1[b]"
+
+    def test_canonical_form_is_idempotent(self):
+        log = Log.parse("R2[y] W1[x] W2[x]")
+        once = canonical_form(log)
+        assert canonical_form(once) == once
+
+
+class TestExhaustiveSweep:
+    def test_smallest_scope_is_clean(self):
+        result = exhaustive_check(2, 1, 2)
+        assert result.ok, [v.to_dict() for v in result.violations]
+        assert result.canonical_logs > 0
+        assert result.canonical_logs <= result.total_logs
+
+    def test_two_step_scope_is_clean_and_counts_regions(self):
+        result = exhaustive_check(2, 2, 2)
+        assert result.ok, [v.to_dict() for v in result.violations]
+        # Fig. 4 census-style sanity: the serial region dominates and
+        # every checked log landed in exactly one region.
+        assert sum(result.region_counts.values()) == result.canonical_logs
+        assert result.region_counts[1] > 0
+
+    def test_limit_truncates_the_sweep(self):
+        result = exhaustive_check(3, 2, 2, limit=50)
+        assert result.canonical_logs == 50
+        assert result.ok
+
+    def test_progress_callback_fires(self):
+        calls = []
+        exhaustive_check(
+            3, 2, 2, limit=5001, progress=lambda done, seen: calls.append(done)
+        )
+        assert calls == [5000]
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        result = exhaustive_check(2, 1, 1)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["scope"] == {
+            "num_txns": 2,
+            "ops_per_txn": 1,
+            "num_items": 1,
+        }
+
+    def test_rejects_absurd_item_count(self):
+        with pytest.raises(ValueError):
+            exhaustive_check(2, 1, 99)

@@ -1,0 +1,147 @@
+"""The unified serializability oracle (``repro.check.oracle``)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.check.oracle import (
+    SerializabilityOracle,
+    Verdict,
+    ViewSerializabilityUnknown,
+    conflict_graph,
+    is_view_equivalent,
+    ordered_item_pairs,
+    precedence_pairs,
+    reads_from,
+    serial_reads_from,
+)
+from repro.classes import membership
+from repro.core.mtk import MTkScheduler
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+@pytest.fixture
+def oracle() -> SerializabilityOracle:
+    return SerializabilityOracle()
+
+
+class TestPrimitives:
+    def test_ordered_item_pairs_conflicts_only(self):
+        log = Log.parse("R1[x] R2[x] W3[x]")
+        pairs = {
+            (a.txn, b.txn) for a, b in ordered_item_pairs(log)
+        }
+        # read-read (1,2) is not a conflict; both reads precede the write.
+        assert pairs == {(1, 3), (2, 3)}
+
+    def test_ordered_item_pairs_with_read_read(self):
+        log = Log.parse("R1[x] R2[x]")
+        assert list(ordered_item_pairs(log)) == []
+        with_rr = {
+            (a.txn, b.txn)
+            for a, b in ordered_item_pairs(log, include_read_read=True)
+        }
+        assert with_rr == {(1, 2)}
+
+    def test_reads_from_initial(self):
+        log = Log.parse("R1[x] W2[x] R3[x]")
+        assert reads_from(log) == [(1, "x", 0), (3, "x", 2)]
+
+    def test_serial_reads_from_reorders(self):
+        log = Log.parse("W2[x] R1[x]")
+        assert serial_reads_from(log, [1, 2]) == [(1, "x", 0)]
+        assert serial_reads_from(log, [2, 1]) == [(1, "x", 2)]
+
+    def test_view_equivalence_requires_same_operations(self):
+        assert not is_view_equivalent(
+            Log.parse("W1[x]"), Log.parse("W1[x] W2[x]")
+        )
+        assert is_view_equivalent(
+            Log.parse("R1[x] W2[y]"), Log.parse("W2[y] R1[x]")
+        )
+
+    def test_precedence_pairs_two_step(self):
+        # T1 finishes entirely before T2 begins -> real-time precedence.
+        log = Log.parse("R1[x] W1[x] R2[y] W2[y]")
+        assert (1, 2) in precedence_pairs(log)
+        assert (2, 1) not in precedence_pairs(log)
+
+
+class TestVerdicts:
+    def test_dsr_short_circuits_to_yes(self, oracle):
+        assert oracle.view_serializability(Log.parse("W1[x] R2[x]")) is (
+            Verdict.YES
+        )
+
+    def test_non_dsr_sr_log(self, oracle):
+        # The paper's SR-not-DSR witness.
+        log = Log.parse("R1[x] W2[x] W1[x] W3[x]")
+        assert not oracle.is_dsr(log)
+        assert oracle.view_serializability(log) is Verdict.YES
+
+    def test_unknown_beyond_bruteforce_bound(self):
+        oracle = SerializabilityOracle(max_txns_for_bruteforce=2)
+        log = Log.parse("R1[x] W2[x] W1[x] W3[x]")
+        assert oracle.view_serializability(log) is Verdict.UNKNOWN
+
+    def test_membership_raises_explicit_unknown(self):
+        log = Log.parse("R1[x] W2[x] W1[x] W3[x]")
+        with pytest.raises(ViewSerializabilityUnknown):
+            membership.is_view_serializable(log, max_txns_for_bruteforce=2)
+        # ... and the ValueError contract is preserved for old callers.
+        with pytest.raises(ValueError):
+            membership.is_view_serializable(log, max_txns_for_bruteforce=2)
+
+    @given(small_logs())
+    @settings(max_examples=150)
+    def test_membership_delegates_to_oracle(self, log):
+        oracle = SerializabilityOracle()
+        assert membership.is_dsr(log) == oracle.is_dsr(log)
+        assert membership.is_ssr(log) == oracle.is_ssr(log)
+
+    @given(small_logs())
+    @settings(max_examples=100)
+    def test_conflict_graph_acyclicity_matches_is_dsr(self, log):
+        assert membership.is_dsr(log) == (not conflict_graph(log).has_cycle())
+
+
+class TestDefinition6Replay:
+    def test_accepted_run_is_certified(self, oracle):
+        log = Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")  # Example 1
+        replay = oracle.definition6_replay(log, 2)
+        assert replay.accepted
+        assert replay.certified
+
+    def test_rejected_run_is_vacuously_certified(self, oracle):
+        log = Log.parse("W1[x] W2[x] R3[y] W3[x]")  # Fig. 5
+        replay = oracle.definition6_replay(log, 2)
+        assert not replay.accepted
+        assert replay.certified  # vacuous: nothing to certify
+
+    def test_scheduler_reuse_matches_fresh(self, oracle):
+        log = Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+        reused = MTkScheduler(2)
+        a = oracle.definition6_replay(log, 2)
+        b = oracle.definition6_replay(log, 2, scheduler=reused)
+        assert (a.accepted, a.certified) == (b.accepted, b.certified)
+
+    @given(small_logs(max_txns=3, max_ops=2))
+    @settings(max_examples=150)
+    def test_every_accepted_small_log_certifies(self, log):
+        oracle = SerializabilityOracle()
+        for k in (1, 2, 3):
+            replay = oracle.definition6_replay(log, k)
+            if replay.accepted:
+                assert replay.certified, (str(log), k)
+
+
+class TestReport:
+    def test_report_flags_non_dsr(self, oracle):
+        report = oracle.report(Log.parse("W1[x] W2[x] R1[x] R2[x]"))
+        assert not report.ok
+        assert report.violations
+
+    def test_report_clean_log(self, oracle):
+        report = oracle.report(Log.parse("W1[x] R2[x] W2[y]"))
+        assert report.ok
+        assert report.serial_order is not None

@@ -20,7 +20,8 @@ from fractions import Fraction
 import networkx as nx
 from hypothesis import given, settings
 
-from repro.classes.membership import is_dsr, is_ssr, precedence_pairs
+from repro.check.oracle import precedence_pairs
+from repro.classes.membership import is_dsr, is_ssr
 from repro.classes.two_pl import is_two_pl, _item_uses
 from repro.model.dependency import DependencyGraph
 from repro.model.log import Log

@@ -274,6 +274,17 @@ class TestCacheDecisionEquivalence:
             without_cache = _decision_trace(0, anti_starvation, seed)
             assert with_cache == without_cache
 
+    def test_fuzzer_cross_checks_cache_equivalence(self):
+        # The conformance fuzzer carries the same rule permanently
+        # ("cache-equivalence"): every campaign replays each case through
+        # MT(3) with and without the comparison cache.  A clean adversarial
+        # campaign here means no workload shape distinguishes the two.
+        from repro.check.fuzz import FuzzConfig, run_fuzz
+
+        report = run_fuzz(FuzzConfig(iterations=60, seed=23))
+        assert report.ok, report.to_dict()
+        assert report.rule_counts.get("cache-equivalence", 0) == 0
+
 
 class TestZeroCostTracing:
     def test_disabled_trace_never_builds_events(self, monkeypatch):
