@@ -70,3 +70,7 @@ __all__ += [
 from .core import MVMTkScheduler
 
 __all__ += ["MVMTkScheduler"]
+
+from .engine import PipelineExecutor, Session, TransactionService
+
+__all__ += ["PipelineExecutor", "Session", "TransactionService"]

@@ -21,7 +21,13 @@ outcomes against the paper's (empirically verified) class hierarchy:
 * end-to-end executor runs (immediate/deferred writes, full/partial
   rollback, anti-starvation, optimistic validation) must commit a DSR
   projection with disjoint committed/failed sets (``executor-dsr``,
-  ``executor-overlap``).
+  ``executor-overlap``);
+* the sharded pipeline service must commit a DSR projection for every
+  shard count (``pipeline-dsr``, ``pipeline-overlap``), and with one
+  shard its report must be **bit-for-bit identical** to the legacy
+  ``TransactionExecutor(MTkScheduler(2))`` — same committed/failed
+  sets, same counters, same committed-operation sequence
+  (``pipeline-legacy-equivalence``).
 
 Intentionally *not* checked, because they are false: TO(k) monotonicity
 in ``k`` (Fig. 4 regions 2 and 6 are real), flat-log DSR for the
@@ -47,6 +53,7 @@ from ..core.multiversion import MVMTkScheduler
 from ..core.protocol import Scheduler
 from ..core.table import OptimizedEncoding
 from ..engine.executor import TransactionExecutor
+from ..engine.pipeline import TransactionService
 from ..engine.optimistic import OptimisticScheduler
 from ..engine.to_scheduler import ConventionalTOScheduler
 from ..engine.two_pl_scheduler import StrictTwoPLScheduler
@@ -110,12 +117,18 @@ _EXECUTOR_CONFIGS: tuple[tuple[str, SchedulerFactory, dict[str, Any]], ...] = (
 )
 
 
+#: Shard counts the pipeline service is fuzzed with by default; the
+#: ISSUE-level claim is that any of these is decision-safe.
+DEFAULT_SHARDS: tuple[int, ...] = (1, 2, 4)
+
+
 def check_case(
     log: Log,
     matrix: Mapping[str, SchedulerFactory] | None = None,
     oracle: SerializabilityOracle | None = None,
     run_executor: bool = True,
     check_cache: bool = True,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
 ) -> list[Violation]:
     """Run one log through the whole matrix; return every rule violation.
 
@@ -197,6 +210,8 @@ def check_case(
 
     if run_executor:
         violations.extend(executor_violations(log, oracle))
+        if shards:
+            violations.extend(pipeline_violations(log, oracle, shards=shards))
     return violations
 
 
@@ -235,6 +250,85 @@ def executor_violations(
     return violations
 
 
+def pipeline_violations(
+    log: Log,
+    oracle: SerializabilityOracle | None = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+) -> list[Violation]:
+    """Sharded-service checks: for every shard count the pipeline must
+    commit a DSR projection with disjoint committed/failed sets, and
+    ``n_shards=1`` must reproduce the legacy executor's report exactly
+    (the compatibility fast lane is bit-for-bit the monolithic loop)."""
+    oracle = oracle if oracle is not None else SerializabilityOracle()
+    violations: list[Violation] = []
+    text = str(log)
+    transactions = list(log.transactions.values())
+    if not transactions:
+        return violations
+    legacy = None
+    for n_shards in shards:
+        service = TransactionService(k=2, n_shards=n_shards)
+        service.submit_programs(transactions)
+        report = service.run(schedule=log)
+        overlap = report.committed & report.failed
+        if overlap:
+            violations.append(
+                Violation(
+                    "pipeline-overlap",
+                    text,
+                    f"pipeline[shards={n_shards}] committed and failed "
+                    f"overlap: {sorted(overlap)}",
+                )
+            )
+        if not oracle.is_dsr(report.committed_log):
+            violations.append(
+                Violation(
+                    "pipeline-dsr",
+                    text,
+                    f"pipeline[shards={n_shards}] committed a non-DSR "
+                    f"projection {report.committed_log}",
+                )
+            )
+        if n_shards != 1:
+            continue
+        if legacy is None:
+            legacy = TransactionExecutor(MTkScheduler(2)).execute(
+                transactions, schedule=log
+            )
+        mismatches = [
+            fname
+            for fname, got, want in (
+                ("committed", report.committed, legacy.committed),
+                ("failed", report.failed, legacy.failed),
+                ("restarts", report.restarts, legacy.restarts),
+                ("ops_executed", report.ops_executed, legacy.ops_executed),
+                (
+                    "ops_reexecuted",
+                    report.ops_reexecuted,
+                    legacy.ops_reexecuted,
+                ),
+                (
+                    "ignored_writes",
+                    report.ignored_writes,
+                    legacy.ignored_writes,
+                ),
+                ("undo_count", report.undo_count, legacy.undo_count),
+                ("committed_ops", report.committed_ops, legacy.committed_ops),
+            )
+            if got != want
+        ]
+        if mismatches:
+            violations.append(
+                Violation(
+                    "pipeline-legacy-equivalence",
+                    text,
+                    "pipeline[shards=1] diverged from the legacy executor "
+                    f"in: {', '.join(mismatches)}",
+                )
+            )
+    return violations
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FuzzConfig:
@@ -249,6 +343,8 @@ class FuzzConfig:
     max_items: int = 3
     shrink: bool = True
     max_counterexamples: int = 5
+    #: Shard counts the pipeline service is checked with per case.
+    shards: tuple[int, ...] = DEFAULT_SHARDS
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -259,6 +355,7 @@ class FuzzConfig:
             "max_items": self.max_items,
             "shrink": self.shrink,
             "max_counterexamples": self.max_counterexamples,
+            "shards": list(self.shards),
         }
 
 
@@ -327,6 +424,7 @@ def shrink_case(
     log: Log,
     rule: str,
     matrix: Mapping[str, SchedulerFactory] | None = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
 ) -> Log:
     """ddmin a failing log down to a 1-minimal operation subsequence that
     still violates *rule* (through the same full :func:`check_case`)."""
@@ -335,7 +433,8 @@ def shrink_case(
     def still_fails(ops) -> bool:
         sub = Log(tuple(ops))
         return any(
-            v.rule == rule for v in check_case(sub, matrix=matrix, oracle=oracle)
+            v.rule == rule
+            for v in check_case(sub, matrix=matrix, oracle=oracle, shards=shards)
         )
 
     minimal = ddmin(tuple(log.operations), still_fails)
@@ -360,7 +459,9 @@ def run_fuzz(
     for case in range(config.iterations):
         rng = random.Random(f"{config.seed}:{case}")
         log = _case_log(config, rng)
-        violations = check_case(log, matrix=matrix, oracle=oracle)
+        violations = check_case(
+            log, matrix=matrix, oracle=oracle, shards=config.shards
+        )
         report.cases += 1
         report.violations += len(violations)
         for violation in violations:
@@ -370,7 +471,7 @@ def run_fuzz(
         if violations and len(report.counterexamples) < config.max_counterexamples:
             worst = violations[0]
             shrunk = (
-                shrink_case(log, worst.rule, matrix=matrix)
+                shrink_case(log, worst.rule, matrix=matrix, shards=config.shards)
                 if config.shrink
                 else log
             )

@@ -239,7 +239,10 @@ def cmd_check(args: argparse.Namespace) -> int:
                 print(f"      {violation.detail}")
     if args.fuzz is not None:
         config = FuzzConfig(
-            iterations=args.fuzz, seed=args.seed, shrink=not args.no_shrink
+            iterations=args.fuzz,
+            seed=args.seed,
+            shrink=not args.no_shrink,
+            shards=tuple(args.shards),
         )
         report = run_fuzz(config, progress=fuzz_progress)
         counterexample_report = report
@@ -370,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report raw counterexamples without ddmin shrinking",
+    )
+    p_check.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="shard counts the pipeline service is fuzzed with "
+        "(default: 1 2 4)",
     )
     p_check.add_argument(
         "--limit",

@@ -8,6 +8,14 @@ from .scheduler_api import (
     acceptance_count,
 )
 from .executor import ExecutionReport, TransactionExecutor
+from .pipeline import (
+    PipelineExecutor,
+    Session,
+    ShardRouter,
+    ShardSet,
+    ShardSpec,
+    TransactionService,
+)
 from .two_pl_scheduler import StrictTwoPLScheduler
 from .to_scheduler import ConventionalTOScheduler
 from .optimistic import OptimisticScheduler
@@ -21,6 +29,12 @@ __all__ = [
     "acceptance_count",
     "ExecutionReport",
     "TransactionExecutor",
+    "PipelineExecutor",
+    "Session",
+    "ShardRouter",
+    "ShardSet",
+    "ShardSpec",
+    "TransactionService",
     "StrictTwoPLScheduler",
     "ConventionalTOScheduler",
     "OptimisticScheduler",

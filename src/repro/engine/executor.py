@@ -1,9 +1,18 @@
 """End-to-end transaction execution: scheduler + storage + restarts.
 
 The paper's protocols are recognizers over logs; a real system also moves
-data and retries aborted transactions.  The executor drives any
-:class:`~repro.core.protocol.Scheduler` against a
-:class:`~repro.storage.database.Database` with undo logging:
+data and retries aborted transactions.  :class:`TransactionExecutor` is
+the historical name for that driver — since the pipeline refactor it is
+a thin compatibility subclass of
+:class:`~repro.engine.pipeline.service.PipelineExecutor`, pinned to the
+plain admission configuration (immediate retries, no batching, no
+capacity bound).  A plain queue takes the executor's inline fast lane,
+so the legacy surface costs nothing over the monolithic loop it
+replaced, and its reports are bit-for-bit what the monolith produced
+(the conformance fuzzer's ``pipeline-legacy-equivalence`` rule holds
+this line).
+
+Semantics (unchanged):
 
 * an **accepted** read/write executes against the database (reads return
   the stored value; writes store a value derived from the transaction id,
@@ -24,63 +33,31 @@ Two Section VI-C options change the abort story:
   validated/applied only at the transaction's last operation ("two-phase
   commit for each write").  Aborts then cost no undo at all and a
   committed transaction can never abort.
+
+For batching, bounded queues, backoff/global-restart retry policies and
+sharded scheduling, construct a
+:class:`~repro.engine.pipeline.service.PipelineExecutor` (or the
+:class:`~repro.engine.pipeline.sessions.TransactionService` frontend)
+directly.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Any, Sequence
-
-from ..core.protocol import Decision, DecisionStatus, Scheduler
-from ..model.dependency import DependencyGraph
-from ..model.generator import interleave
-from ..model.log import Log
-from ..model.operations import Operation, OpKind, Transaction
-from ..obs.instrument import Instrumented
+from ..core.protocol import Scheduler
 from ..storage.database import Database
-from ..storage.wal import UndoLog
+from .pipeline.report import ExecutionReport
+from .pipeline.service import PipelineExecutor
+
+__all__ = ["ExecutionReport", "TransactionExecutor"]
 
 
-@dataclass
-class ExecutionReport:
-    """What an execution did, for the rollback/throughput benches."""
+class TransactionExecutor(PipelineExecutor):
+    """Drives transactions through a scheduler with retry semantics.
 
-    committed: set[int] = field(default_factory=set)
-    failed: set[int] = field(default_factory=set)
-    restarts: int = 0
-    ops_executed: int = 0
-    ops_reexecuted: int = 0  # work thrown away and redone after aborts
-    ignored_writes: int = 0
-    undo_count: int = 0
-    committed_ops: list[Operation] = field(default_factory=list)
-
-    @property
-    def committed_log(self) -> Log:
-        """The log of performed operations of committed transactions — the
-        serializability witness checked by tests."""
-        committed = self.committed
-        return Log(
-            tuple(op for op in self.committed_ops if op.txn in committed)
-        )
-
-    def is_serializable(self) -> bool:
-        """The committed projection must always be DSR (Theorem 2
-        end-to-end)."""
-        return not DependencyGraph.of_log(self.committed_log).has_cycle()
-
-
-@dataclass
-class _TxnState:
-    txn: Transaction
-    position: int = 0  # next program operation to issue
-    attempt: int = 1
-    buffered_writes: list[Operation] = field(default_factory=list)
-    executed_this_attempt: int = 0
-
-
-class TransactionExecutor(Instrumented):
-    """Drives transactions through a scheduler with retry semantics."""
+    The legacy constructor surface: scheduler, optional database, retry
+    budget, and the two Section VI-C switches.  Everything else is the
+    pipeline's plain configuration.
+    """
 
     def __init__(
         self,
@@ -90,275 +67,10 @@ class TransactionExecutor(Instrumented):
         write_policy: str = "immediate",
         rollback: str = "full",
     ) -> None:
-        if write_policy not in ("immediate", "deferred"):
-            raise ValueError("write_policy must be 'immediate' or 'deferred'")
-        if rollback not in ("full", "partial"):
-            raise ValueError("rollback must be 'full' or 'partial'")
-        self.scheduler = scheduler
-        self.database = database if database is not None else Database()
-        self.max_attempts = max_attempts
-        self.write_policy = write_policy
-        self.rollback = rollback
-        # Hot-path flags: one attribute read instead of a string compare
-        # per operation / per abort.
-        self._deferred = write_policy == "deferred"
-        self._partial = rollback == "partial"
-        self.init_observability(
-            "executor",
-            counters=(
-                "ops_executed",
-                "ops_reexecuted",
-                "aborts",
-                "restarts",
-                "undo_ops",
-                "ignored_writes",
-                "commits",
-                "failures",
-                "global_restarts",
-            ),
+        super().__init__(
+            scheduler,
+            database=database,
+            max_attempts=max_attempts,
+            write_policy=write_policy,
+            rollback=rollback,
         )
-        # Pre-bound Counter objects for the per-operation and abort hot
-        # paths (reset() zeroes counters in place, so the bindings stay
-        # live).
-        self._c_ops_executed = self.metrics.counter("ops_executed")
-        self._c_ignored_writes = self.metrics.counter("ignored_writes")
-        self._c_aborts = self.metrics.counter("aborts")
-        self._c_restarts = self.metrics.counter("restarts")
-        self._c_undo_ops = self.metrics.counter("undo_ops")
-        self._c_ops_reexecuted = self.metrics.counter("ops_reexecuted")
-
-    # ------------------------------------------------------------------
-    def execute(
-        self,
-        transactions: Sequence[Transaction],
-        schedule: Log | None = None,
-        seed: int = 0,
-    ) -> ExecutionReport:
-        """Run *transactions* along *schedule* (or a seeded random
-        interleaving), retrying aborted transactions at the tail."""
-        if schedule is None:
-            schedule = interleave(transactions, random.Random(seed))
-        self.reset_observability()
-        self.scheduler.reset()
-        plan = getattr(self.scheduler, "plan_transactions", None)
-        if callable(plan):
-            plan(transactions)
-        undo = UndoLog(self.database)
-        report = ExecutionReport()
-        states = {t.txn_id: _TxnState(t) for t in transactions}
-        self._states = states
-
-        # The work queue: planned operations first, retried programs after.
-        queue: list[int] = [op.txn for op in schedule]
-        pointer = 0
-        with self.metrics.timer("execute"):
-            while pointer < len(queue):
-                txn_id = queue[pointer]
-                pointer += 1
-                state = states[txn_id]
-                if txn_id in report.failed or txn_id in report.committed:
-                    continue
-                if state.position >= state.txn.num_operations:
-                    continue
-                op = state.txn.operations[state.position]
-                finished = self._step(state, op, undo, report, queue)
-                if finished:
-                    self._try_commit(state, undo, report, queue)
-        self.metrics.set_gauge("committed", len(report.committed))
-        self.metrics.set_gauge("failed", len(report.failed))
-        return report
-
-    # ------------------------------------------------------------------
-    def _step(
-        self,
-        state: _TxnState,
-        op: Operation,
-        undo: UndoLog,
-        report: ExecutionReport,
-        queue: list[int],
-    ) -> bool:
-        """Issue one operation; returns True when the program completed."""
-        if self._deferred and op.kind is OpKind.WRITE:
-            state.buffered_writes.append(op)
-            state.position += 1
-            return state.position >= state.txn.num_operations
-
-        decision = self.scheduler.process(op)
-        if decision.status is DecisionStatus.REJECT:
-            if getattr(self.scheduler, "failed", False):
-                # Algorithm 2 step 4 i): the composite scheduler has no
-                # surviving subprotocol — abort ALL active transactions,
-                # roll back, reinitialize, restart (epoch reset; committed
-                # work is strictly in the past so cross-epoch serialization
-                # order is trivially consistent).
-                self._global_restart(undo, report, queue)
-            else:
-                self._handle_abort(state, undo, report, queue)
-            return False
-        if decision.status is DecisionStatus.IGNORE:
-            report.ignored_writes += 1
-            self._c_ignored_writes.inc()
-        else:
-            self._perform(op, undo, report)
-            state.executed_this_attempt += 1
-        state.position += 1
-        return state.position >= state.txn.num_operations
-
-    def _perform(
-        self, op: Operation, undo: UndoLog, report: ExecutionReport
-    ) -> None:
-        if op.kind.is_read:
-            self.database.read(op.item)
-        else:
-            value = f"v{op.txn}:{op.item}"
-            before = self.database.write(op.item, value)
-            undo.record_write(op.txn, op.item, before, after=value)
-        report.ops_executed += 1
-        self._c_ops_executed.inc()
-        report.committed_ops.append(op)
-
-    def _try_commit(
-        self,
-        state: _TxnState,
-        undo: UndoLog,
-        report: ExecutionReport,
-        queue: list[int],
-    ) -> None:
-        txn_id = state.txn.txn_id
-        # Deferred writes (VI-C 2): first run every buffered write through
-        # the scheduler (no data moves yet), then validate, then apply — so
-        # an abort at any stage costs no undo.
-        decisions: list[Decision] = []
-        for op in state.buffered_writes:
-            decision = self.scheduler.process(op)
-            if decision.status is DecisionStatus.REJECT:
-                self._handle_abort(state, undo, report, queue)
-                return
-            decisions.append(decision)
-        validate = getattr(self.scheduler, "validate_commit", None)
-        if callable(validate) and not validate(txn_id):
-            self._handle_abort(state, undo, report, queue)
-            return
-        for decision in decisions:
-            if decision.status is DecisionStatus.IGNORE:
-                report.ignored_writes += 1
-                self._c_ignored_writes.inc()
-            else:
-                self._perform(decision.op, undo, report)
-        state.buffered_writes.clear()
-        undo.commit(txn_id)
-        report.committed.add(txn_id)
-        self.metrics.inc("commits")
-        if self.events.enabled:
-            self.events.emit("commit", txn=txn_id, attempt=state.attempt)
-        commit = getattr(self.scheduler, "commit", None)
-        if callable(commit):
-            commit(txn_id)
-
-    def _handle_abort(
-        self,
-        state: _TxnState,
-        undo: UndoLog,
-        report: ExecutionReport,
-        queue: list[int],
-    ) -> None:
-        txn_id = state.txn.txn_id
-        self._c_aborts.inc()
-        partial_ok = self._partial and txn_id in getattr(
-            self.scheduler, "partial_ok", ()
-        )
-        if partial_ok:
-            # VI-C 1: effects preserved; resume at the failed operation.
-            self.scheduler.restart(txn_id)
-            report.restarts += 1
-            self._c_restarts.inc()
-            if self.events.enabled:
-                self.events.emit("restart", txn=txn_id, partial=True)
-            queue.append(txn_id)  # the failed op will be reissued
-            self._requeue_remaining(state, queue)
-            return
-        # Full rollback: undo writes, discard the attempt, retry or fail.
-        undone = undo.rollback(txn_id)
-        report.undo_count += undone
-        self._c_undo_ops.inc(undone)
-        report.ops_reexecuted += state.executed_this_attempt
-        self._c_ops_reexecuted.inc(state.executed_this_attempt)
-        self._drop_executed_ops(txn_id, state, report)
-        state.buffered_writes.clear()
-        state.position = 0
-        state.executed_this_attempt = 0
-        if state.attempt >= self.max_attempts:
-            report.failed.add(txn_id)
-            self.metrics.inc("failures")
-            if self.events.enabled:
-                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
-            return
-        state.attempt += 1
-        report.restarts += 1
-        self._c_restarts.inc()
-        if self.events.enabled:
-            self.events.emit("restart", txn=txn_id, partial=False)
-        restart = getattr(self.scheduler, "restart", None)
-        if callable(restart):
-            restart(txn_id)
-        queue.extend([txn_id] * state.txn.num_operations)
-
-    def _global_restart(
-        self, undo: UndoLog, report: ExecutionReport, queue: list[int]
-    ) -> None:
-        self.scheduler.reset()
-        self._c_aborts.inc()
-        self.metrics.inc("global_restarts")
-        if self.events.enabled:
-            self.events.emit("global_restart")
-        for state in self._states.values():
-            txn_id = state.txn.txn_id
-            if txn_id in report.committed or txn_id in report.failed:
-                continue
-            if state.position == 0 and state.executed_this_attempt == 0:
-                continue  # had not started; nothing to roll back
-            undone = undo.rollback(txn_id)
-            report.undo_count += undone
-            self._c_undo_ops.inc(undone)
-            report.ops_reexecuted += state.executed_this_attempt
-            self._c_ops_reexecuted.inc(state.executed_this_attempt)
-            self._drop_executed_ops(txn_id, state, report)
-            state.buffered_writes.clear()
-            state.position = 0
-            state.executed_this_attempt = 0
-            if state.attempt >= self.max_attempts:
-                report.failed.add(txn_id)
-                self.metrics.inc("failures")
-                if self.events.enabled:
-                    self.events.emit("fail", txn=txn_id, attempts=state.attempt)
-                continue
-            state.attempt += 1
-            report.restarts += 1
-            self._c_restarts.inc()
-            if self.events.enabled:
-                self.events.emit("restart", txn=txn_id, partial=False)
-            queue.extend([txn_id] * state.txn.num_operations)
-
-    def _requeue_remaining(self, state: _TxnState, queue: list[int]) -> None:
-        remaining = state.txn.num_operations - state.position - 1
-        queue.extend([state.txn.txn_id] * max(0, remaining))
-
-    def _drop_executed_ops(
-        self, txn_id: int, state: _TxnState, report: ExecutionReport
-    ) -> None:
-        """Remove the aborted attempt's operations from the committed-ops
-        record (they were rolled back).
-
-        The attempt's operations all sit near the tail, so walk backwards
-        and delete in place — each ``del`` only shifts the short suffix
-        behind it, instead of rebuilding the whole record per abort."""
-        to_drop = state.executed_this_attempt
-        if not to_drop:
-            return
-        ops = report.committed_ops
-        index = len(ops) - 1
-        while to_drop and index >= 0:
-            if ops[index].txn == txn_id:
-                del ops[index]
-                to_drop -= 1
-            index -= 1

@@ -1,0 +1,49 @@
+"""The staged execution pipeline: session → admission → shard → storage.
+
+Stage map (one dispatched operation, left to right)::
+
+    Session/TransactionService        (sessions.py)   client programs
+      └─> AdmissionQueue + RetryPolicy (admission.py)  batching, bounds,
+            └─> ShardSet + ShardRouter (shard.py)      backoff
+                  └─> MT(k)/DMT(k) scheduler           partitioned,
+                        └─> StorageBackend + UndoLog   cross-shard DSR
+
+:class:`PipelineExecutor` (service.py) drives the stages; the legacy
+``repro.engine.executor.TransactionExecutor`` is a thin compatibility
+subclass of it.
+"""
+
+from .admission import (
+    AdmissionQueue,
+    CappedBackoff,
+    GlobalRestart,
+    ImmediateRetry,
+    POLICIES,
+    RetryPolicy,
+    resolve_policy,
+)
+from .report import ExecutionReport
+from .router import ShardRouter, stable_hash
+from .service import PipelineExecutor
+from .sessions import Session, SessionError, TransactionService
+from .shard import Shard, ShardSet, ShardSpec
+
+__all__ = [
+    "AdmissionQueue",
+    "CappedBackoff",
+    "ExecutionReport",
+    "GlobalRestart",
+    "ImmediateRetry",
+    "POLICIES",
+    "PipelineExecutor",
+    "RetryPolicy",
+    "resolve_policy",
+    "Session",
+    "SessionError",
+    "Shard",
+    "ShardRouter",
+    "ShardSet",
+    "ShardSpec",
+    "stable_hash",
+    "TransactionService",
+]

@@ -1,0 +1,478 @@
+"""The staged execution core: admission → shard → schedule → storage.
+
+:class:`PipelineExecutor` is the engine behind both the legacy
+:class:`~repro.engine.executor.TransactionExecutor` (a thin
+compatibility subclass) and the :class:`~repro.engine.pipeline.sessions.
+TransactionService` frontend.  One dispatched operation flows through
+four stages:
+
+1. **admission** — the :class:`~repro.engine.pipeline.admission.
+   AdmissionQueue` dispenses the next transaction id (batching, bounds
+   and retry delays live there);
+2. **shard** — when a :class:`~repro.engine.pipeline.shard.ShardSet` is
+   attached, the operation is accounted to the shard owning its item
+   (the scheduler itself is the shard set's cross-shard-ordered
+   DMT(k)-semantics instance);
+3. **schedule** — the concurrency controller accepts / ignores /
+   rejects the operation (unchanged from the monolithic executor);
+4. **storage** — accepted operations execute against any
+   :class:`~repro.storage.backend.StorageBackend` with undo logging;
+   rejections route through the :class:`~repro.engine.pipeline.
+   admission.RetryPolicy` (full rollback, VI-C 1 partial rollback, or a
+   policy/composite-forced global epoch restart).
+
+Two lanes drive the same stage methods:
+
+* the **plain fast lane** — taken when the admission queue is plain
+  (no batching, no capacity, zero-delay retries, i.e. every legacy
+  configuration): the loop iterates the queue's backing list with a
+  local pointer, exactly the monolithic executor's loop, so the
+  refactor costs the hot path nothing;
+* the **staged lane** — everything else: work is pulled through
+  ``AdmissionQueue.pop()``, which meters batches, applies backpressure
+  and matures delayed retries in simulated time.
+
+All randomness is an explicit ``random.Random(seed)`` threaded through
+interleaving and admission — never module-level ``random`` — so a seed
+fully determines the ``ExecutionReport`` (see the determinism tests).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Sequence
+
+from ...core.protocol import Decision, DecisionStatus, Scheduler
+from ...model.generator import interleave
+from ...model.log import Log
+from ...model.operations import Operation, OpKind, Transaction
+from ...obs.instrument import Instrumented
+from ...storage.database import Database
+from ...storage.wal import UndoLog
+from .admission import AdmissionQueue, RetryPolicy, resolve_policy
+from .report import ExecutionReport
+from .shard import ShardSet
+
+
+class _TxnState:
+    __slots__ = (
+        "txn",
+        "position",
+        "attempt",
+        "buffered_writes",
+        "executed_this_attempt",
+    )
+
+    def __init__(self, txn: Transaction) -> None:
+        self.txn = txn
+        self.position = 0  # next program operation to issue
+        self.attempt = 1
+        self.buffered_writes: list[Operation] = []
+        self.executed_this_attempt = 0
+
+
+class PipelineExecutor(Instrumented):
+    """Drives transactions through the staged pipeline with retries."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        database: Any | None = None,
+        max_attempts: int = 10,
+        write_policy: str = "immediate",
+        rollback: str = "full",
+        retry_policy: RetryPolicy | str | None = None,
+        queue_capacity: int | None = None,
+        batch_size: int | None = None,
+        shuffle_batches: bool = False,
+        shards: ShardSet | None = None,
+    ) -> None:
+        if write_policy not in ("immediate", "deferred"):
+            raise ValueError("write_policy must be 'immediate' or 'deferred'")
+        if rollback not in ("full", "partial"):
+            raise ValueError("rollback must be 'full' or 'partial'")
+        if shards is not None and shards.scheduler is not scheduler:
+            raise ValueError("shards.scheduler must be the pipeline scheduler")
+        self.scheduler = scheduler
+        self.database = database if database is not None else Database()
+        self.max_attempts = max_attempts
+        self.write_policy = write_policy
+        self.rollback = rollback
+        self._retry_policy = resolve_policy(retry_policy)
+        self._admission = AdmissionQueue(
+            retry_policy=self._retry_policy,
+            capacity=queue_capacity,
+            batch_size=batch_size,
+            shuffle_batches=shuffle_batches,
+        )
+        self._shards = shards
+        # Hot-path flags: one attribute read instead of a string compare
+        # per operation / per abort.
+        self._deferred = write_policy == "deferred"
+        self._partial = rollback == "partial"
+        self.init_observability(
+            "executor",
+            counters=(
+                "ops_executed",
+                "ops_reexecuted",
+                "aborts",
+                "restarts",
+                "undo_ops",
+                "ignored_writes",
+                "commits",
+                "failures",
+                "global_restarts",
+                "admission_waits",
+                "retries_delayed",
+            ),
+        )
+        # Pre-bound Counter objects for the per-operation and abort hot
+        # paths (reset() zeroes counters in place, so the bindings stay
+        # live).
+        self._c_ops_executed = self.metrics.counter("ops_executed")
+        self._c_ignored_writes = self.metrics.counter("ignored_writes")
+        self._c_aborts = self.metrics.counter("aborts")
+        self._c_restarts = self.metrics.counter("restarts")
+        self._c_undo_ops = self.metrics.counter("undo_ops")
+        self._c_ops_reexecuted = self.metrics.counter("ops_reexecuted")
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        transactions: Sequence[Transaction],
+        schedule: Log | None = None,
+        seed: int = 0,
+    ) -> ExecutionReport:
+        """Run *transactions* along *schedule* (or a seeded random
+        interleaving), retrying aborted transactions per the policy."""
+        rng = Random(seed)
+        if schedule is None:
+            schedule = interleave(transactions, rng)
+        self.reset_observability()
+        self.scheduler.reset()
+        shards = self._shards
+        if shards is not None:
+            shards.reset()
+        plan = getattr(self.scheduler, "plan_transactions", None)
+        if callable(plan):
+            plan(transactions)
+        undo = UndoLog(self.database)
+        report = ExecutionReport()
+        states = {t.txn_id: _TxnState(t) for t in transactions}
+        self._states = states
+
+        admission = self._admission
+        admission.begin([op.txn for op in schedule], rng=rng)
+        with self.metrics.timer("execute"):
+            if admission.is_plain:
+                self._run_plain(admission, states, undo, report)
+            else:
+                self._run_staged(admission, states, undo, report)
+        self.metrics.set_gauge("committed", len(report.committed))
+        self.metrics.set_gauge("failed", len(report.failed))
+        self.metrics.set_gauge("queue_depth_max", admission.max_depth)
+        self.metrics.inc("admission_waits", admission.waits)
+        self.metrics.inc("retries_delayed", admission.delayed_retries)
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_plain(
+        self,
+        admission: AdmissionQueue,
+        states: dict[int, _TxnState],
+        undo: UndoLog,
+        report: ExecutionReport,
+    ) -> None:
+        """Fast lane: the monolithic executor's loop, verbatim, over the
+        admission queue's backing list (plain queues only)."""
+        queue = admission.backing_list()
+        committed = report.committed
+        failed = report.failed
+        pointer = 0
+        while pointer < len(queue):
+            txn_id = queue[pointer]
+            pointer += 1
+            state = states[txn_id]
+            if txn_id in failed or txn_id in committed:
+                continue
+            if state.position >= state.txn.num_operations:
+                continue
+            op = state.txn.operations[state.position]
+            before = len(queue)
+            finished = self._step(state, op, undo, report, queue)
+            if finished:
+                self._try_commit(state, undo, report, queue)
+            if len(queue) != before:
+                # The queue only grows on (cold) retry paths; record the
+                # live depth there so stage metrics stay exact.
+                admission.note_depth(len(queue) - pointer)
+
+    def _run_staged(
+        self,
+        admission: AdmissionQueue,
+        states: dict[int, _TxnState],
+        undo: UndoLog,
+        report: ExecutionReport,
+    ) -> None:
+        """Staged lane: pull work through the admission queue (batching,
+        backpressure, delayed retries in simulated time)."""
+        committed = report.committed
+        failed = report.failed
+        while True:
+            txn_id = admission.pop()
+            if txn_id is None:
+                break
+            state = states[txn_id]
+            if txn_id in failed or txn_id in committed:
+                continue
+            if state.position >= state.txn.num_operations:
+                continue
+            op = state.txn.operations[state.position]
+            finished = self._step(state, op, undo, report, admission)
+            if finished:
+                self._try_commit(state, undo, report, admission)
+
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        state: _TxnState,
+        op: Operation,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: Any,
+    ) -> bool:
+        """Issue one operation; returns True when the program completed.
+
+        *queue* is either the plain backing list (fast lane) or the
+        admission queue itself (staged lane) — both support the
+        ``append``/``extend`` surface the retry paths use.
+        """
+        if self._deferred and op.kind is OpKind.WRITE:
+            state.buffered_writes.append(op)
+            state.position += 1
+            return state.position >= state.txn.num_operations
+
+        decision = self.scheduler.process(op)
+        shards = self._shards
+        if shards is not None:
+            shards.record(op, decision)
+        if decision.status is DecisionStatus.REJECT:
+            if getattr(self.scheduler, "failed", False):
+                # Algorithm 2 step 4 i): the composite scheduler has no
+                # surviving subprotocol — abort ALL active transactions,
+                # roll back, reinitialize, restart (epoch reset; committed
+                # work is strictly in the past so cross-epoch serialization
+                # order is trivially consistent).
+                self._global_restart(undo, report, queue)
+            else:
+                self._handle_abort(state, undo, report, queue)
+            return False
+        if decision.status is DecisionStatus.IGNORE:
+            report.ignored_writes += 1
+            self._c_ignored_writes.inc()
+        else:
+            self._perform(op, undo, report)
+            state.executed_this_attempt += 1
+        state.position += 1
+        return state.position >= state.txn.num_operations
+
+    def _perform(
+        self, op: Operation, undo: UndoLog, report: ExecutionReport
+    ) -> None:
+        if op.kind.is_read:
+            self.database.read(op.item)
+        else:
+            value = f"v{op.txn}:{op.item}"
+            before = self.database.write(op.item, value)
+            undo.record_write(op.txn, op.item, before, after=value)
+        report.ops_executed += 1
+        self._c_ops_executed.inc()
+        report.committed_ops.append(op)
+
+    def _try_commit(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: Any,
+    ) -> None:
+        txn_id = state.txn.txn_id
+        # Deferred writes (VI-C 2): first run every buffered write through
+        # the scheduler (no data moves yet), then validate, then apply — so
+        # an abort at any stage costs no undo.
+        decisions: list[Decision] = []
+        shards = self._shards
+        for op in state.buffered_writes:
+            decision = self.scheduler.process(op)
+            if shards is not None:
+                shards.record(op, decision)
+            if decision.status is DecisionStatus.REJECT:
+                self._handle_abort(state, undo, report, queue)
+                return
+            decisions.append(decision)
+        validate = getattr(self.scheduler, "validate_commit", None)
+        if callable(validate) and not validate(txn_id):
+            self._handle_abort(state, undo, report, queue)
+            return
+        for decision in decisions:
+            if decision.status is DecisionStatus.IGNORE:
+                report.ignored_writes += 1
+                self._c_ignored_writes.inc()
+            else:
+                self._perform(decision.op, undo, report)
+        state.buffered_writes.clear()
+        undo.commit(txn_id)
+        report.committed.add(txn_id)
+        self.metrics.inc("commits")
+        if shards is not None:
+            shards.record_commit(txn_id)
+        if self.events.enabled:
+            self.events.emit("commit", txn=txn_id, attempt=state.attempt)
+        commit = getattr(self.scheduler, "commit", None)
+        if callable(commit):
+            commit(txn_id)
+
+    def _handle_abort(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: Any,
+    ) -> None:
+        txn_id = state.txn.txn_id
+        self._c_aborts.inc()
+        partial_ok = self._partial and txn_id in getattr(
+            self.scheduler, "partial_ok", ()
+        )
+        if partial_ok:
+            # VI-C 1: effects preserved; resume at the failed operation.
+            self.scheduler.restart(txn_id)
+            report.restarts += 1
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=True)
+            queue.append(txn_id)  # the failed op will be reissued
+            self._requeue_remaining(state, queue)
+            return
+        if self._retry_policy.global_restart:
+            # Policy escalation: treat every full abort as the Algorithm 2
+            # epoch reset (extracted from the composite-forced path).
+            self._global_restart(undo, report, queue)
+            return
+        # Full rollback: undo writes, discard the attempt, retry or fail.
+        undone = undo.rollback(txn_id)
+        report.undo_count += undone
+        self._c_undo_ops.inc(undone)
+        report.ops_reexecuted += state.executed_this_attempt
+        self._c_ops_reexecuted.inc(state.executed_this_attempt)
+        self._drop_executed_ops(txn_id, state, report)
+        state.buffered_writes.clear()
+        state.position = 0
+        state.executed_this_attempt = 0
+        if state.attempt >= self.max_attempts:
+            report.failed.add(txn_id)
+            self.metrics.inc("failures")
+            if self.events.enabled:
+                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
+            return
+        state.attempt += 1
+        report.restarts += 1
+        self._c_restarts.inc()
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn_id, partial=False)
+        restart = getattr(self.scheduler, "restart", None)
+        if callable(restart):
+            restart(txn_id)
+        self._requeue_retry(state, queue)
+
+    def _requeue_retry(self, state: _TxnState, queue: Any) -> None:
+        """Readmit a fully-rolled-back transaction through the retry
+        policy (staged lane) or at the tail (fast lane, legacy order)."""
+        count = state.txn.num_operations
+        if queue is self._admission:
+            queue.requeue(state.txn.txn_id, count, state.attempt)
+        else:
+            queue.extend([state.txn.txn_id] * count)
+            self._admission.note_retry()
+
+    def _global_restart(
+        self, undo: UndoLog, report: ExecutionReport, queue: Any
+    ) -> None:
+        self.scheduler.reset()
+        self._c_aborts.inc()
+        self.metrics.inc("global_restarts")
+        if self.events.enabled:
+            self.events.emit("global_restart")
+        for state in self._states.values():
+            txn_id = state.txn.txn_id
+            if txn_id in report.committed or txn_id in report.failed:
+                continue
+            if state.position == 0 and state.executed_this_attempt == 0:
+                continue  # had not started; nothing to roll back
+            undone = undo.rollback(txn_id)
+            report.undo_count += undone
+            self._c_undo_ops.inc(undone)
+            report.ops_reexecuted += state.executed_this_attempt
+            self._c_ops_reexecuted.inc(state.executed_this_attempt)
+            self._drop_executed_ops(txn_id, state, report)
+            state.buffered_writes.clear()
+            state.position = 0
+            state.executed_this_attempt = 0
+            if state.attempt >= self.max_attempts:
+                report.failed.add(txn_id)
+                self.metrics.inc("failures")
+                if self.events.enabled:
+                    self.events.emit("fail", txn=txn_id, attempts=state.attempt)
+                continue
+            state.attempt += 1
+            report.restarts += 1
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=False)
+            self._requeue_retry(state, queue)
+
+    def _requeue_remaining(self, state: _TxnState, queue: Any) -> None:
+        remaining = state.txn.num_operations - state.position - 1
+        queue.extend([state.txn.txn_id] * max(0, remaining))
+
+    def _drop_executed_ops(
+        self, txn_id: int, state: _TxnState, report: ExecutionReport
+    ) -> None:
+        """Remove the aborted attempt's operations from the committed-ops
+        record (they were rolled back).
+
+        The attempt's operations all sit near the tail, so walk backwards
+        and delete in place — each ``del`` only shifts the short suffix
+        behind it, instead of rebuilding the whole record per abort."""
+        to_drop = state.executed_this_attempt
+        if not to_drop:
+            return
+        ops = report.committed_ops
+        index = len(ops) - 1
+        while to_drop and index >= 0:
+            if ops[index].txn == txn_id:
+                del ops[index]
+                to_drop -= 1
+            index -= 1
+
+    # ------------------------------------------------------------------
+    # Stage introspection (bench v2, sessions frontend)
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> ShardSet | None:
+        return self._shards
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry_policy
+
+    def stage_snapshot(self) -> dict[str, Any]:
+        """Per-stage metrics of the most recent run: the admission
+        queue's counters and, when sharded, per-shard occupancy."""
+        snapshot: dict[str, Any] = {"admission": self._admission.snapshot()}
+        if self._shards is not None:
+            snapshot["shards"] = self._shards.snapshot()
+            snapshot["shard_occupancy"] = [
+                round(share, 4) for share in self._shards.occupancy()
+            ]
+        return snapshot

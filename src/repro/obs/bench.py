@@ -9,7 +9,7 @@ results into one machine-readable ``BENCH_repro.json``:
 .. code-block:: json
 
     {
-      "schema": "repro-bench/v1",
+      "schema": "repro-bench/v2",
       "quick": true,
       "scenarios": {
         "mt3_uniform": {
@@ -18,10 +18,21 @@ results into one machine-readable ``BENCH_repro.json``:
           "restarts": 12,
           "element_visits": 4821,
           "wall_ms": 3.1,
+          "stages": {
+            "admission": {"max_queue_depth": 40, "waits": 0, ...},
+            "shards": [{"shard": 0, "ops": 512, ...}],
+            "shard_occupancy": [0.52, 0.48]
+          },
           ...
         }
       }
     }
+
+Schema v2 (this PR) adds the per-stage ``stages`` block — admission
+queue counters always, per-shard occupancy when the scenario runs the
+sharded pipeline.  Consumers (``compare_payloads``, the CI perf-smoke
+job) accept both v1 and v2 payloads, so an old committed baseline still
+gates a new run.
 
 Every subsequent performance PR regenerates this file and diffs it
 against the committed baseline, so "as fast as the hardware allows" has a
@@ -40,7 +51,10 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 #: Version tag of the JSON schema below; bump on breaking changes.
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
+
+#: Schemas :func:`validate_payload` accepts (old baselines stay usable).
+ACCEPTED_SCHEMAS = ("repro-bench/v1", "repro-bench/v2")
 
 #: Keys every scenario result must carry (the regression contract).
 REQUIRED_RESULT_KEYS = (
@@ -56,9 +70,15 @@ REQUIRED_RESULT_KEYS = (
 class Scenario:
     """One reproducible benchmark scenario.
 
-    ``factory`` builds a fresh scheduler per seed; ``spec_kwargs`` feed a
-    :class:`~repro.model.generator.WorkloadSpec`.  ``quick_seeds`` is the
-    seed count used under ``--quick`` (CI smoke), ``full_seeds`` otherwise.
+    ``factory`` builds a fresh scheduler — or a
+    :class:`~repro.engine.pipeline.shard.ShardSet`, which bundles the
+    scheduler with its shard accounting — per seed; ``spec_kwargs`` feed
+    a :class:`~repro.model.generator.WorkloadSpec`.  ``quick_seeds`` is
+    the seed count used under ``--quick`` (CI smoke), ``full_seeds``
+    otherwise.  ``executor_kwargs`` are extra
+    :class:`~repro.engine.pipeline.service.PipelineExecutor` arguments
+    (retry policy names, batch sizes — primitives only, so scenario
+    lookups stay picklable for the process-pool fan-out).
     """
 
     name: str
@@ -73,6 +93,8 @@ class Scenario:
     #: The executor's witness is single-version DSR; multiversion
     #: schedulers guarantee MV-serializability instead, so they opt out.
     check_serializable: bool = True
+    #: Extra PipelineExecutor arguments (admission/retry configuration).
+    executor_kwargs: Mapping[str, Any] = field(default_factory=dict)
 
 
 def _default_scenarios() -> dict[str, Scenario]:
@@ -83,6 +105,7 @@ def _default_scenarios() -> dict[str, Scenario]:
     from ..core.multiversion import MVMTkScheduler
     from ..engine.interval import IntervalScheduler
     from ..engine.optimistic import OptimisticScheduler
+    from ..engine.pipeline import ShardSet, ShardSpec
     from ..engine.to_scheduler import ConventionalTOScheduler
     from ..engine.two_pl_scheduler import StrictTwoPLScheduler
 
@@ -163,6 +186,30 @@ def _default_scenarios() -> dict[str, Scenario]:
             lambda: IntervalScheduler(),
             hotspot,
         ),
+        Scenario(
+            "mt3_shard2",
+            "sharded pipeline: MT(3) semantics over 2 partitions (V-B)",
+            lambda: ShardSet(ShardSpec(n_shards=2, k=3)),
+            hotspot,
+        ),
+        Scenario(
+            "mt3_shard4",
+            "sharded pipeline: MT(3) semantics over 4 partitions (V-B)",
+            lambda: ShardSet(ShardSpec(n_shards=4, k=3)),
+            hotspot,
+        ),
+        Scenario(
+            "mt3_backoff_batched",
+            "MT(3) hotspot through the staged lane: capped backoff, "
+            "batched admission, bounded queue",
+            lambda: MTkScheduler(3),
+            hotspot,
+            executor_kwargs=dict(
+                retry_policy="capped-backoff",
+                batch_size=8,
+                queue_capacity=24,
+            ),
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 
@@ -239,19 +286,25 @@ def _run_seed_for(
     """
     import random
 
-    from ..engine.executor import TransactionExecutor
+    from ..engine.pipeline import PipelineExecutor, ShardSet
     from ..model.generator import WorkloadSpec, generate_transactions
 
     spec = WorkloadSpec(**dict(scenario.spec_kwargs))
     transactions = generate_transactions(spec, random.Random(seed))
 
-    def _fresh() -> TransactionExecutor:
-        scheduler = scenario.factory()
-        executor = TransactionExecutor(
+    def _fresh() -> PipelineExecutor:
+        built = scenario.factory()
+        if isinstance(built, ShardSet):
+            scheduler, shards = built.scheduler, built
+        else:
+            scheduler, shards = built, None
+        executor = PipelineExecutor(
             scheduler,
             max_attempts=scenario.max_attempts,
             rollback=scenario.rollback,
             write_policy=scenario.write_policy,
+            shards=shards,
+            **dict(scenario.executor_kwargs),
         )
         scheduler.events.disable()
         executor.events.disable()
@@ -294,6 +347,7 @@ def _run_seed_for(
         "ignored_writes": report.ignored_writes,
         "committed": len(report.committed),
         "failed": len(report.failed),
+        "stages": executor.stage_snapshot(),
     }
     if profile_rows is not None:
         result["profile"] = profile_rows
@@ -347,6 +401,57 @@ def _merge_profiles(
     return hottest
 
 
+def _merge_stages(
+    per_seed: Sequence[Mapping[str, Any]]
+) -> dict[str, Any] | None:
+    """Fold per-seed stage snapshots into one block: admission counters
+    sum (depth takes the max — it is a high-water mark), shard counters
+    sum element-wise, and occupancy is recomputed from the summed ops."""
+    snapshots = [cell["stages"] for cell in per_seed if "stages" in cell]
+    if not snapshots:
+        return None
+    admission: dict[str, Any] = {
+        "policy": snapshots[0]["admission"]["policy"]
+    }
+    for key in (
+        "admitted",
+        "retries",
+        "delayed_retries",
+        "waits",
+        "batches",
+    ):
+        admission[key] = sum(snap["admission"][key] for snap in snapshots)
+    admission["max_queue_depth"] = max(
+        snap["admission"]["max_queue_depth"] for snap in snapshots
+    )
+    merged: dict[str, Any] = {"admission": admission}
+    shard_snaps = [snap["shards"] for snap in snapshots if "shards" in snap]
+    if shard_snaps:
+        n_shards = len(shard_snaps[0])
+        shards = []
+        for index in range(n_shards):
+            row: dict[str, Any] = {"shard": index}
+            for key in (
+                "ops",
+                "reads",
+                "writes",
+                "accepted",
+                "rejected",
+                "ignored",
+                "commits_homed",
+                "items",
+            ):
+                row[key] = sum(snap[index][key] for snap in shard_snaps)
+            shards.append(row)
+        merged["shards"] = shards
+        total_ops = sum(row["ops"] for row in shards)
+        merged["shard_occupancy"] = [
+            round(row["ops"] / total_ops, 4) if total_ops else 0.0
+            for row in shards
+        ]
+    return merged
+
+
 def _aggregate(
     scenario: Scenario, per_seed: Sequence[Mapping[str, Any]]
 ) -> dict[str, Any]:
@@ -367,6 +472,9 @@ def _aggregate(
         "wall_ms": round(wall_s * 1000.0, 3),
         **totals,
     }
+    stages = _merge_stages(per_seed)
+    if stages is not None:
+        result["stages"] = stages
     profiles = [cell["profile"] for cell in per_seed if "profile" in cell]
     if profiles:
         result["profile"] = _merge_profiles(profiles)
@@ -494,8 +602,8 @@ def validate_payload(payload: Mapping[str, Any]) -> list[str]:
     """Schema check for a ``BENCH_repro.json`` payload; returns the list
     of problems (empty means valid).  Used by tests and CI smoke."""
     problems: list[str] = []
-    if payload.get("schema") != SCHEMA:
-        problems.append(f"schema != {SCHEMA!r}")
+    if payload.get("schema") not in ACCEPTED_SCHEMAS:
+        problems.append(f"schema not in {ACCEPTED_SCHEMAS!r}")
     scenario_map = payload.get("scenarios")
     if not isinstance(scenario_map, Mapping) or not scenario_map:
         return problems + ["scenarios missing or empty"]

@@ -1,5 +1,19 @@
-"""Storage substrate: lock manager, versioned store, undo log."""
+"""Storage substrate: backends, lock manager, versioned store, undo log."""
 
+from .backend import StorageBackend, VersionedBackend, WALBackend
+from .database import Database
 from .locks import LockManager, LockMode, LockOutcome
+from .versioned import MultiversionStore
+from .wal import UndoLog
 
-__all__ = ["LockManager", "LockMode", "LockOutcome"]
+__all__ = [
+    "Database",
+    "LockManager",
+    "LockMode",
+    "LockOutcome",
+    "MultiversionStore",
+    "StorageBackend",
+    "UndoLog",
+    "VersionedBackend",
+    "WALBackend",
+]

@@ -1,0 +1,183 @@
+"""The storage stage's pluggable backend contract.
+
+The pipeline's storage stage only ever needs five operations —
+``read``/``peek``/``write``/``restore``/``snapshot`` — so that surface
+is the whole :class:`StorageBackend` protocol.  The plain in-memory
+:class:`~repro.storage.database.Database` satisfies it structurally
+(no inheritance needed); this module adds two richer implementations:
+
+* :class:`WALBackend` — a database that also appends every mutation to
+  a redo log.  :meth:`WALBackend.replay` rebuilds the committed state
+  on a fresh instance, which is the crash-recovery story the undo-only
+  executor never had (undo handles aborts; redo handles restarts).
+
+* :class:`VersionedBackend` — keeps the full write history of every
+  item as an append-only version chain, exposing the *latest* version
+  through the flat protocol surface plus ``read_version``/
+  ``versions_of`` for inspection.  This is the single-site analogue of
+  the paper's Section VI-B multiversion idea ("all versions retained,
+  reads never rejected") adapted to the flat executor contract — the
+  vector-indexed store used by the MV scheduler itself lives in
+  :mod:`repro.storage.versioned`.
+
+Everything the executor already does (undo logging, dirty-overwrite
+reparenting) works unchanged on any backend, because
+:class:`~repro.storage.wal.UndoLog` only uses the protocol surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
+
+from .database import Database
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the storage stage requires of a backing store."""
+
+    def read(self, item: str, default: Any = 0) -> Any:
+        """Read an item, counting it in the workload statistics."""
+        ...
+
+    def peek(self, item: str, default: Any = None) -> Any:
+        """Read without touching statistics (undo-log internals)."""
+        ...
+
+    def write(self, item: str, value: Any) -> Any:
+        """Write an item, returning the previous value (for undo)."""
+        ...
+
+    def restore(self, item: str, value: Any) -> None:
+        """Undo helper: reinstate a previous value (``None`` deletes)."""
+        ...
+
+    def snapshot(self) -> dict[str, Any]:
+        """The current committed state as a plain dict."""
+        ...
+
+
+class WALBackend(Database):
+    """A database with a write-ahead redo log.
+
+    Every mutation (writes *and* undo restores) is appended to
+    :attr:`log` before it lands, so replaying the log on an empty
+    instance reproduces the exact final state — the recovery invariant
+    ``replay(backend.log) == backend`` is property-tested.
+    """
+
+    def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
+        super().__init__(initial)
+        #: The redo log: ("write" | "restore", item, value) in order.
+        #: Restores with value ``None`` are deletions.
+        self.log: list[tuple[str, str, Any]] = []
+        for item, value in (initial or {}).items():
+            self.log.append(("write", item, value))
+
+    def write(self, item: str, value: Any) -> Any:
+        self.log.append(("write", item, value))
+        return super().write(item, value)
+
+    def restore(self, item: str, value: Any) -> None:
+        self.log.append(("restore", item, value))
+        super().restore(item, value)
+
+    @classmethod
+    def replay(cls, log: Iterable[tuple[str, str, Any]]) -> "WALBackend":
+        """Rebuild state by replaying a redo log onto a fresh backend."""
+        backend = cls()
+        for kind, item, value in log:
+            if kind == "write":
+                Database.write(backend, item, value)
+            elif kind == "restore":
+                Database.restore(backend, item, value)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown log record kind {kind!r}")
+            backend.log.append((kind, item, value))
+        return backend
+
+
+class VersionedBackend:
+    """Append-only version chains behind the flat protocol surface.
+
+    Each item holds a list of versions; ``write`` appends, ``read``
+    returns the newest, and ``restore`` pops dirty versions (an aborted
+    writer's undo truncates the chain back to the restored value) so the
+    executor's rollback story works unchanged.  ``read_version`` and
+    ``versions_of`` expose the history for tests and tooling.
+    """
+
+    def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
+        self._chains: dict[str, list[Any]] = {
+            item: [value] for item, value in (initial or {}).items()
+        }
+        self.reads = 0
+        self.writes = 0
+
+    # -- protocol surface ----------------------------------------------
+    def read(self, item: str, default: Any = 0) -> Any:
+        self.reads += 1
+        chain = self._chains.get(item)
+        return chain[-1] if chain else default
+
+    def peek(self, item: str, default: Any = None) -> Any:
+        chain = self._chains.get(item)
+        return chain[-1] if chain else default
+
+    def write(self, item: str, value: Any) -> Any:
+        self.writes += 1
+        chain = self._chains.setdefault(item, [])
+        previous = chain[-1] if chain else None
+        chain.append(value)
+        return previous
+
+    def restore(self, item: str, value: Any) -> None:
+        chain = self._chains.get(item)
+        if chain is None:
+            return
+        if value is None:
+            # The item had never been written: drop the chain entirely.
+            del self._chains[item]
+            return
+        # Truncate dirty versions back to the restored value; if it is
+        # not on the chain (reparented before-image), rewrite the tip.
+        while chain and chain[-1] != value:
+            chain.pop()
+        if not chain:
+            chain.append(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            item: chain[-1] for item, chain in self._chains.items() if chain
+        }
+
+    # -- history surface -----------------------------------------------
+    def read_version(self, item: str, index: int, default: Any = None) -> Any:
+        chain = self._chains.get(item, [])
+        try:
+            return chain[index]
+        except IndexError:
+            return default
+
+    def versions_of(self, item: str) -> tuple[Any, ...]:
+        return tuple(self._chains.get(item, ()))
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._chains
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VersionedBackend):
+            return self.snapshot() == other.snapshot()
+        if isinstance(other, (Database, dict)):
+            snapshot = self.snapshot()
+            return snapshot == (
+                other.snapshot() if isinstance(other, Database) else other
+            )
+        return NotImplemented
+
+    # Mutable container defining __eq__: explicitly unhashable, like
+    # Database.
+    __hash__ = None  # type: ignore[assignment]

@@ -63,3 +63,10 @@ class Database:
         if isinstance(other, dict):
             return self._data == other
         return NotImplemented
+
+    # Defining __eq__ suppresses the inherited __hash__ anyway (Python
+    # sets it to None implicitly); spell it out so the intent — mutable
+    # container, never usable as a dict key — survives refactors, and so
+    # subclasses that add __eq__ overloads do not silently resurrect
+    # identity hashing.
+    __hash__ = None  # type: ignore[assignment]

@@ -20,9 +20,10 @@ Section VI-C 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from .database import Database
+if TYPE_CHECKING:  # structural type only; avoids an import cycle at runtime
+    from .backend import StorageBackend
 
 
 @dataclass
@@ -36,7 +37,7 @@ class UndoRecord:
 class UndoLog:
     """Per-transaction undo stacks with savepoints and chain repair."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: "StorageBackend") -> None:
         self._database = database
         self._records: dict[int, list[UndoRecord]] = {}
         self._savepoints: dict[int, list[int]] = {}
