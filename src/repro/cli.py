@@ -11,10 +11,12 @@ Commands
     Run the Fig. 4 region census over small two-step systems.
 ``protocols``
     List the available protocols and their options.
-``bench [--quick] [--scenario NAME ...] [--out PATH] [--jobs N] [--profile]``
+``bench [--quick] [--scenario NAME ...] [--out PATH] [--jobs N] [--profile]
+[--decision-core python|numpy]``
     Run the consolidated benchmark scenarios and write ``BENCH_repro.json``;
     ``--jobs`` fans scenario×seed cells over a process pool, ``--profile``
-    attaches cProfile hotspot breakdowns.
+    attaches cProfile hotspot breakdowns, ``--decision-core numpy`` routes
+    MT(k)-family decisions through the vectorized batch core.
 ``check [--exhaustive N Q M | --fuzz N --seed S] [--json] [--out PATH]``
     Conformance oracle: exhaustively sweep every log of a small scope, or
     differentially fuzz all schedulers against the class hierarchy and
@@ -157,6 +159,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             out=args.out,
             jobs=args.jobs,
             profile=args.profile,
+            decision_core=args.decision_core,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
@@ -177,9 +180,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         render_table(
             ["scenario", "ops/s", "aborts", "restarts", "visits", "wall_ms"],
             rows,
-            title=f"bench ({'quick' if args.quick else 'full'} mode)",
+            title=(
+                f"bench ({'quick' if args.quick else 'full'} mode, "
+                f"decision core: {args.decision_core})"
+            ),
         )
     )
+    microbench = payload.get("decision_core_bench")
+    if microbench is not None:
+        print(
+            f"decision-core microbench: {microbench['pairs']} pairs "
+            f"(n={microbench['n_txns']}, k={microbench['k']}) — "
+            f"python {microbench['python_ms']}ms, "
+            f"numpy {microbench['numpy_ms']}ms, "
+            f"{microbench['speedup']}x"
+        )
     if args.profile:
         for name in sorted(payload["scenarios"]):
             hotspots = payload["scenarios"][name].get("profile", [])
@@ -344,6 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="attach per-scenario cProfile hotspot breakdowns to the JSON",
+    )
+    p_bench.add_argument(
+        "--decision-core",
+        choices=("python", "numpy"),
+        default="python",
+        help="Definition 6 decision path for MT(k)-family scenarios "
+        "(numpy = vectorized batch core; falls back to python when "
+        "numpy is absent)",
     )
     p_bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"

@@ -1,0 +1,412 @@
+"""Vectorized batch decision core: Definition 6 over numpy planes.
+
+Section III-E shows ``k`` processors deciding one Definition 6 comparison
+in ``O(log k)`` parallel steps; :mod:`repro.core.vector_processor`
+*simulates* that machine one pair at a time.  This module is the real
+thing on commodity SIMD: a numpy mirror of the timestamp slab — an
+``(n_rows, k)`` int64 **value plane** plus a bool **defined-mask plane**
+— against which a whole batch of comparisons is decided in one shot of
+mask arithmetic:
+
+1. *subtract*: a lane *diverges* unless both sides are defined and
+   equal — ``diff = ~(both_defined & (a == b))`` (one vectorized pass);
+2. *prefix OR + boundary detect*: Fig. 7 builds a prefix-OR tree whose
+   first set output is the deciding position ``m``; on SIMD the whole
+   tree collapses to one reduction — ``argmax`` over the divergence
+   mask finds the first set lane per row directly;
+3. *decide*: gather the two elements at lane ``m`` and map the three
+   cases (both defined / neither / one) onto Definition 6's
+   ``<``/``>``/``=``/``?`` — interned :class:`Comparison` instances,
+   identity-equal to the sequential scan's.
+
+Two batch surfaces share those phases: :meth:`~BatchDecisionCore.
+compare_pairs` takes an explicit pair list and materializes
+:class:`Comparison` objects (the admission-window priming path), while
+:meth:`~BatchDecisionCore.compare_matrix` decides *all* ordered pairs
+among ``n`` transactions by broadcasting the ``(n, k)`` row block
+against itself and returns raw code/position arrays — no per-pair
+Python objects at all, which is where the order-of-magnitude win lives
+(``serialization_order`` and the bench's decision-core microbench
+consume it).
+
+Synchronization protocol (see DESIGN.md "batch decision core"):
+
+* **pull-based**: rows are re-encoded from their Python
+  :class:`~repro.core.timestamp.TimestampVector` lazily, keyed on the
+  vector's mutation ``version`` — the scheduling hot path never pays a
+  push hook per ``set()``;
+* **identity-checked**: a plane row remembers which vector object it
+  mirrors, so a reclaimed-then-rematerialized transaction id can never
+  alias a stale row;
+* **reclaim hook**: :meth:`forget` drops the row's vector reference when
+  the table reclaims it (the same strong-reference leak the comparison
+  cache's ``purge`` fixes).
+
+Element packing: plane cells are int64.  Plain integer elements ``e``
+pack as ``e << SITE_BITS``; DMT(k)'s ``(counter, site)`` pairs pack as
+``(counter << SITE_BITS) | site`` — counter in the high bits, site in
+the low bits, which preserves the tuple's lexicographic order for any
+site in ``[0, 2**SITE_BITS)``.  A value outside the packable range flags
+its row *unpackable* and every pair touching that row falls back to the
+sequential scan, so decisions stay bit-identical under arbitrary element
+types (the ``vectorized-equivalence`` fuzz rule and a hypothesis
+property test enforce this).
+
+When numpy is missing :func:`make_core` returns ``None`` and the table
+silently runs the pure-Python path — the core is an accelerator, never a
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+try:  # numpy is an optional accelerator, not a requirement
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via stubbed import
+    np = None  # type: ignore[assignment]
+
+from .timestamp import (
+    Comparison,
+    Ordering,
+    TimestampVector,
+    UNDEFINED,
+    compare,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .table import TimestampTable
+
+#: Is the vectorized core available in this interpreter?
+HAVE_NUMPY = np is not None
+
+#: Low-order bits reserved for DMT(k) site tags in packed elements.
+SITE_BITS = 16
+_SITE_LIMIT = 1 << SITE_BITS
+#: Packable counter range: |counter| << SITE_BITS must fit in int64.
+_COUNTER_LIMIT = 1 << (63 - SITE_BITS)
+
+#: Ordering codes used inside the planes (row vectors of verdicts).
+#: ``CODE_LESS``/``CODE_GREATER`` are public: :meth:`BatchDecisionCore.
+#: compare_matrix` consumers branch on raw codes without materializing
+#: Comparison objects.
+CODE_LESS, CODE_GREATER, CODE_EQUAL, CODE_SEMI, CODE_IDENTICAL = range(5)
+_LESS, _GREATER, _EQUAL, _SEMI, _IDENTICAL = range(5)
+_ORDER_OF = {
+    _LESS: Ordering.LESS,
+    _GREATER: Ordering.GREATER,
+    _EQUAL: Ordering.EQUAL,
+    _SEMI: Ordering.SEMI,
+    _IDENTICAL: Ordering.IDENTICAL,
+}
+_CODE_OF = {ordering: code for code, ordering in _ORDER_OF.items()}
+
+
+def pack_element(element: object) -> int | None:
+    """Pack one defined element into an order-preserving int64, or
+    ``None`` when the element falls outside the packable domain.
+
+    Integers map to ``e << SITE_BITS`` and ``(counter, site)`` pairs to
+    ``(counter << SITE_BITS) | site``; both live on the same int64 axis,
+    and within a column (which never mixes the two types) the packed
+    order equals the Python order.
+    """
+    if type(element) is tuple:
+        if len(element) != 2:
+            return None
+        counter, site = element
+        if type(counter) is not int or type(site) is not int:
+            return None
+        if not (0 <= site < _SITE_LIMIT and -_COUNTER_LIMIT < counter < _COUNTER_LIMIT):
+            return None
+        return (counter << SITE_BITS) | site
+    if isinstance(element, int) and not isinstance(element, bool):
+        if -_COUNTER_LIMIT < element < _COUNTER_LIMIT:
+            return element << SITE_BITS
+        return None
+    return None
+
+
+def make_core(table: "TimestampTable") -> "BatchDecisionCore | None":
+    """Build a core for *table*, or ``None`` when numpy is unavailable."""
+    if not HAVE_NUMPY:
+        return None
+    return BatchDecisionCore(table)
+
+
+class BatchDecisionCore:
+    """Numpy mirror of a :class:`~repro.core.table.TimestampTable`.
+
+    The mirror holds one plane row per transaction the table has asked
+    about; :meth:`compare_pairs` decides any number of Definition 6
+    comparisons between mirrored rows in one vectorized pass, returning
+    results bit-identical (and, for positions within the intern limit,
+    identity-equal) to :func:`repro.core.timestamp.compare`.
+    """
+
+    _INITIAL_ROWS = 64
+
+    def __init__(self, table: "TimestampTable") -> None:
+        if np is None:  # pragma: no cover - guarded by make_core
+            raise RuntimeError("numpy is required for BatchDecisionCore")
+        self._table = table
+        self.k = table.k
+        cap = self._INITIAL_ROWS
+        self._values = np.zeros((cap, self.k), dtype=np.int64)
+        self._defined = np.zeros((cap, self.k), dtype=bool)
+        self._unpackable = np.zeros(cap, dtype=bool)
+        #: synced mutation version per plane row (-1 = never synced).
+        self._versions = np.full(cap, -1, dtype=np.int64)
+        self._row_of: dict[int, int] = {}
+        self._vec_of: list[TimestampVector | None] = [None] * cap
+        self._free: list[int] = []
+        self._next_row = 0
+        #: flat verdict lookup: ``code * (k + 1) + position`` resolves to
+        #: the (interned, for positions within the limit) Comparison —
+        #: one list index per pair instead of an enum map + factory call.
+        self._lut = [
+            Comparison.of(_ORDER_OF[code], position) if position else None
+            for code in range(len(_ORDER_OF))
+            for position in range(self.k + 1)
+        ]
+        # Observability: exported through the table's cache_info-style
+        # surface and the bench payload.
+        self.batches = 0
+        self.pairs_decided = 0
+        self.fallbacks = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        cap = self._values.shape[0]
+        new_cap = cap * 2
+        self._values = np.vstack(
+            [self._values, np.zeros((cap, self.k), dtype=np.int64)]
+        )
+        self._defined = np.vstack(
+            [self._defined, np.zeros((cap, self.k), dtype=bool)]
+        )
+        self._unpackable = np.concatenate(
+            [self._unpackable, np.zeros(cap, dtype=bool)]
+        )
+        self._versions = np.concatenate(
+            [self._versions, np.full(cap, -1, dtype=np.int64)]
+        )
+        self._vec_of.extend([None] * cap)
+        assert len(self._vec_of) == new_cap
+
+    def _sync(self, txn: int) -> int:
+        """Row index for *txn*, re-encoding the plane row iff the Python
+        vector mutated (or was swapped out) since the last sync."""
+        vector = self._table.vector(txn)
+        row = self._row_of.get(txn)
+        if row is None:
+            if self._free:
+                row = self._free.pop()
+            else:
+                row = self._next_row
+                if row >= self._values.shape[0]:
+                    self._grow()
+                self._next_row += 1
+            self._row_of[txn] = row
+        elif (
+            self._vec_of[row] is vector
+            and self._versions[row] == vector._version
+        ):
+            return row  # mirror already current
+        self._encode_row(row, vector)
+        return row
+
+    def _encode_row(self, row: int, vector: TimestampVector) -> None:
+        values = self._values[row]
+        defined = self._defined[row]
+        unpackable = False
+        for index, element in enumerate(vector._elements):
+            if element is UNDEFINED:
+                values[index] = 0
+                defined[index] = False
+                continue
+            packed = pack_element(element)
+            if packed is None:
+                unpackable = True
+                break
+            values[index] = packed
+            defined[index] = True
+        self._unpackable[row] = unpackable
+        self._versions[row] = vector._version
+        self._vec_of[row] = vector
+        self.syncs += 1
+
+    def forget(self, txn: int) -> None:
+        """Reclaim hook: drop the mirror row (and its strong vector
+        reference) when the table reclaims the transaction's row."""
+        row = self._row_of.pop(txn, None)
+        if row is not None:
+            self._vec_of[row] = None
+            self._versions[row] = -1
+            self._unpackable[row] = False
+            self._free.append(row)
+
+    # ------------------------------------------------------------------
+    # Batch decisions
+    # ------------------------------------------------------------------
+    def compare_pairs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[Comparison]:
+        """Decide Definition 6 for every ``(left_txn, right_txn)`` pair
+        in one vectorized pass; bit-identical to the sequential scan."""
+        if not pairs:
+            return []
+        self.batches += 1
+        self.pairs_decided += len(pairs)
+        # Sync each distinct transaction once per batch (all-pairs batches
+        # repeat every txn ~n times; _sync's fast path is still two dict
+        # probes we need not pay per pair).
+        sync = self._sync
+        row_of: dict[int, int] = {}
+        for left, right in pairs:
+            if left not in row_of:
+                row_of[left] = sync(left)
+            if right not in row_of:
+                row_of[right] = sync(right)
+        count = len(pairs)
+        left_rows = np.fromiter(
+            (row_of[left] for left, _ in pairs), dtype=np.intp, count=count
+        )
+        right_rows = np.fromiter(
+            (row_of[right] for _, right in pairs), dtype=np.intp, count=count
+        )
+        codes, positions = self._decide(left_rows, right_rows)
+        # One flat int per pair -> one list index per pair (see _lut).
+        flat = (codes * (self.k + 1) + positions).tolist()
+        lut = self._lut
+        unpackable = self._unpackable
+        if unpackable.any():
+            # Graceful degradation: pairs touching an unpackable row take
+            # the sequential scan, so the batch stays exact.
+            bad = (unpackable[left_rows] | unpackable[right_rows]).tolist()
+            table = self._table
+            results: list[Comparison] = []
+            for (left, right), key, is_bad in zip(pairs, flat, bad):
+                if is_bad:
+                    self.fallbacks += 1
+                    results.append(
+                        compare(table.vector(left), table.vector(right))
+                    )
+                else:
+                    results.append(lut[key])
+            return results
+        return [lut[key] for key in flat]
+
+    def _decide(
+        self, left_rows: "np.ndarray", right_rows: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """The III-E phases over ``(n_pairs, k)`` lane blocks."""
+        a = self._values[left_rows]
+        b = self._values[right_rows]
+        a_def = self._defined[left_rows]
+        b_def = self._defined[right_rows]
+        # Phase 1 (subtract): a lane diverges unless both sides are
+        # defined and equal.
+        diff = ~((a_def & b_def) & (a == b))
+        # Phase 2 (prefix OR + boundary detect): the first divergent lane
+        # is the deciding position; Fig. 7's prefix-OR tree is one argmax
+        # reduction here.  All-False rows yield lane 0 — disambiguated by
+        # ``decided`` (the mask value *at* the argmax lane).
+        lanes = diff.argmax(axis=1)
+        flat = np.arange(len(lanes)) * self.k + lanes
+        decided = diff.ravel()[flat]
+        positions = np.where(decided, lanes + 1, self.k).astype(np.int64)
+        # Phase 3 (decide) at the boundary lane; the gathered planes are
+        # fresh contiguous copies, so ravel() is a view and one flat
+        # index replaces four advanced-indexing passes.
+        ad = a_def.ravel()[flat]
+        bd = b_def.ravel()[flat]
+        av = a.ravel()[flat]
+        bv = b.ravel()[flat]
+        codes = np.where(
+            ad & bd,
+            np.where(av < bv, _LESS, _GREATER),
+            np.where(~ad & ~bd, _EQUAL, _SEMI),
+        )
+        codes = np.where(decided, codes, _IDENTICAL)
+        return codes, positions
+
+    def compare_matrix(
+        self, txns: Sequence[int]
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Decide Definition 6 for **every ordered pair** among *txns* in
+        one broadcast pass: returns ``(codes, positions)`` arrays of shape
+        ``(n, n)`` where ``codes[i, j]`` is the ``CODE_*`` verdict of
+        ``compare(TS(txns[i]), TS(txns[j]))`` and ``positions[i, j]`` its
+        deciding position (the diagonal compares each vector to itself,
+        i.e. ``CODE_IDENTICAL``).
+
+        This is the fully vectorized surface: no per-pair Python objects
+        are built, so ``n^2`` decisions cost a handful of SIMD passes
+        over an ``(n, n, k)`` block plus one C-level gather.  Pairs
+        touching an unpackable row are re-decided sequentially and
+        patched into the arrays, so the result is always exact.
+        """
+        n = len(txns)
+        rows = np.fromiter(
+            (self._sync(txn) for txn in txns), dtype=np.intp, count=n
+        )
+        self.batches += 1
+        self.pairs_decided += n * n - n
+        values = self._values[rows]
+        defined = self._defined[rows]
+        # Phases 1-2 over the broadcast (n, n, k) block: divergence mask,
+        # then argmax as the collapsed prefix-OR boundary detect.
+        diff = ~(
+            (defined[:, None, :] & defined[None, :, :])
+            & (values[:, None, :] == values[None, :, :])
+        )
+        lanes = diff.argmax(axis=2)
+        index = np.arange(n)
+        decided = diff[index[:, None], index[None, :], lanes]
+        positions = np.where(decided, lanes + 1, self.k).astype(np.int64)
+        # Phase 3: gather both sides' element/defined at the boundary
+        # lane straight from the small (n, k) blocks — the left side
+        # indexes by row i, the right side by row j.
+        ad = defined[index[:, None], lanes]
+        bd = defined[index[None, :], lanes]
+        av = values[index[:, None], lanes]
+        bv = values[index[None, :], lanes]
+        codes = np.where(
+            ad & bd,
+            np.where(av < bv, _LESS, _GREATER),
+            np.where(~ad & ~bd, _EQUAL, _SEMI),
+        )
+        codes = np.where(decided, codes, _IDENTICAL)
+        bad = np.flatnonzero(self._unpackable[rows]).tolist()
+        if bad:
+            table = self._table
+            bad_set = set(bad)
+            for i in bad:
+                left = table.vector(txns[i])
+                for j in range(n):
+                    if j == i or (j in bad_set and j < i):
+                        continue  # pair already patched from j's side
+                    right = table.vector(txns[j])
+                    forward = compare(left, right)
+                    codes[i, j] = _CODE_OF[forward.ordering]
+                    positions[i, j] = forward.position
+                    reverse = compare(right, left)
+                    codes[j, i] = _CODE_OF[reverse.ordering]
+                    positions[j, i] = reverse.position
+                    self.fallbacks += 2
+        return codes, positions
+
+    # ------------------------------------------------------------------
+    def info(self) -> dict[str, int]:
+        """Counters for gauges / the bench payload."""
+        return {
+            "batches": self.batches,
+            "pairs_decided": self.pairs_decided,
+            "fallbacks": self.fallbacks,
+            "syncs": self.syncs,
+            "rows": len(self._row_of),
+        }

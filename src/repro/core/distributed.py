@@ -94,6 +94,7 @@ class DMTkScheduler(MTkScheduler):
         clock_skews: list[int] | None = None,
         read_rule: str = "line9",
         trace: bool = False,
+        decision_core: str = "python",
     ) -> None:
         if num_sites < 1:
             raise ValueError("need at least one site")
@@ -114,7 +115,9 @@ class DMTkScheduler(MTkScheduler):
         self._site_of_item = site_of_item or (
             lambda item: hash(item) % num_sites
         )
-        super().__init__(k, read_rule=read_rule, trace=trace)
+        super().__init__(
+            k, read_rule=read_rule, trace=trace, decision_core=decision_core
+        )
         self.name = f"DMT({k})x{num_sites}"
 
     # ------------------------------------------------------------------

@@ -236,7 +236,18 @@ class TimestampVector:
         return tuple(self._elements)
 
     def copy(self) -> "TimestampVector":
-        return TimestampVector(self.k, self._elements)
+        """Independent clone carrying the same mutation/flush epochs.
+
+        The epochs must survive the copy: the comparison cache's staleness
+        test keys on ``flush_count``/``version``, so a clone restarting at
+        epoch 0 could later masquerade as a never-flushed vector and
+        validate a stale cached verdict if it were substituted for the
+        original.
+        """
+        clone = TimestampVector(self.k, self._elements)
+        clone._version = self._version
+        clone._flushes = self._flushes
+        return clone
 
     def __iter__(self) -> Iterator[Element]:
         return iter(self._elements)
@@ -388,6 +399,24 @@ class ComparisonCache:
         )
         return result
 
+    def purge(self, vector: TimestampVector) -> int:
+        """Drop every entry involving *vector*; returns the count dropped.
+
+        Entries pin strong references to both vectors, so a reclaimed
+        table row would otherwise stay alive — keyed by a dead ``id()`` —
+        until FIFO eviction happens to rotate it out.  Called by
+        :meth:`~repro.core.table.TimestampTable.reclaim`.
+        """
+        entries = self._entries
+        dead = [
+            key
+            for key, entry in entries.items()
+            if entry[0] is vector or entry[1] is vector
+        ]
+        for key in dead:
+            del entries[key]
+        return len(dead)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -413,11 +442,18 @@ class Counters:
     is distinct and every *new* upper value exceeds all previously issued
     values (and symmetrically for lower values) — the property the ``Set``
     procedure relies on at position ``k``.
+
+    ``lcount`` starts at ``-1``, not ``0``: the virtual transaction's
+    vector is ``<0, *, ..., *>``, so at ``k = 1`` the k-th column already
+    contains the value ``0`` before any counter is consulted.  A first
+    lower draw of ``0`` would duplicate T0's element and violate the
+    distinct-last-column invariant Algorithm 1's ``Set`` relies on (two
+    identical vectors make ``Set`` unorderable).
     """
 
     __slots__ = ("_lcount", "_ucount")
 
-    def __init__(self, lcount: int = 0, ucount: int = 1) -> None:
+    def __init__(self, lcount: int = -1, ucount: int = 1) -> None:
         self._lcount = lcount
         self._ucount = ucount
 
@@ -461,7 +497,7 @@ class SiteTaggedCounters(Counters):
 
     __slots__ = ("site",)
 
-    def __init__(self, site: int, lcount: int = 0, ucount: int = 1) -> None:
+    def __init__(self, site: int, lcount: int = -1, ucount: int = 1) -> None:
         super().__init__(lcount=lcount, ucount=ucount)
         self.site = site
 

@@ -111,7 +111,7 @@ class VectorComparator:
         # Phase 5: decide at the boundary lane.                     [1 step]
         steps += 1
         if not boundary.any():
-            result = Comparison(Ordering.IDENTICAL, self.k)
+            result = Comparison.of(Ordering.IDENTICAL, self.k)
         else:
             lane = int(np.argmax(boundary))  # unique by construction
             position = lane + 1
@@ -125,7 +125,7 @@ class VectorComparator:
                 ordering = Ordering.EQUAL
             else:
                 ordering = Ordering.SEMI
-            result = Comparison(ordering, position)
+            result = Comparison.of(ordering, position)
 
         expected = sequential_compare(left, right)
         if result != expected:  # pragma: no cover - simulator self-check

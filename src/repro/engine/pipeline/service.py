@@ -74,6 +74,12 @@ class _TxnState:
 class PipelineExecutor(Instrumented):
     """Drives transactions through the staged pipeline with retries."""
 
+    #: Operations per speculative priming window fed to a scheduler's
+    #: vectorized decision core (see repro.core.batch).  Speculation is
+    #: validated exactly at use, so the size only trades batch width
+    #: against the odds of mid-window invalidation.
+    PRIME_WINDOW = 32
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -160,6 +166,14 @@ class PipelineExecutor(Instrumented):
         report = ExecutionReport()
         states = {t.txn_id: _TxnState(t) for t in transactions}
         self._states = states
+        # Speculative batch priming: only when the scheduler runs the
+        # vectorized core (checked after reset(), which rebuilds the
+        # table and thus decides python vs numpy).
+        self._prime = (
+            self.scheduler.prime_batch
+            if getattr(self.scheduler, "wants_priming", False)
+            else None
+        )
 
         admission = self._admission
         admission.begin([op.txn for op in schedule], rng=rng)
@@ -188,8 +202,14 @@ class PipelineExecutor(Instrumented):
         queue = admission.backing_list()
         committed = report.committed
         failed = report.failed
+        prime = self._prime
+        next_prime = 0
         pointer = 0
         while pointer < len(queue):
+            if prime is not None and pointer >= next_prime:
+                window = queue[pointer : pointer + self.PRIME_WINDOW]
+                prime(self._window_requests(window, states, committed, failed))
+                next_prime = pointer + max(1, len(window))
             txn_id = queue[pointer]
             pointer += 1
             state = states[txn_id]
@@ -218,10 +238,25 @@ class PipelineExecutor(Instrumented):
         backpressure, delayed retries in simulated time)."""
         committed = report.committed
         failed = report.failed
+        prime = self._prime
+        countdown = 0
         while True:
             txn_id = admission.pop()
             if txn_id is None:
                 break
+            if prime is not None:
+                if countdown <= 0:
+                    # The popped id plus whatever the admission stage has
+                    # already released — pending batches and immature
+                    # delayed retries are not speculated about.
+                    window = [txn_id] + admission.peek_window(
+                        self.PRIME_WINDOW - 1
+                    )
+                    prime(
+                        self._window_requests(window, states, committed, failed)
+                    )
+                    countdown = len(window)
+                countdown -= 1
             state = states[txn_id]
             if txn_id in failed or txn_id in committed:
                 continue
@@ -231,6 +266,34 @@ class PipelineExecutor(Instrumented):
             finished = self._step(state, op, undo, report, admission)
             if finished:
                 self._try_commit(state, undo, report, admission)
+
+    def _window_requests(
+        self,
+        window: Sequence[int],
+        states: dict[int, _TxnState],
+        committed: set[int],
+        failed: set[int],
+    ) -> list[tuple[int, str]]:
+        """Predict the ``(txn, item)`` requests an admission window will
+        issue, walking each transaction's program from its current
+        position.  Pure speculation — an abort mid-window shifts the
+        stream, and the primed entries simply fail validation."""
+        positions: dict[int, int] = {}
+        requests: list[tuple[int, str]] = []
+        deferred = self._deferred
+        for txn_id in window:
+            if txn_id in failed or txn_id in committed:
+                continue
+            state = states[txn_id]
+            position = positions.get(txn_id, state.position)
+            if position >= state.txn.num_operations:
+                continue
+            op = state.txn.operations[position]
+            positions[txn_id] = position + 1
+            if deferred and op.kind is OpKind.WRITE:
+                continue  # buffered, not scheduled now
+            requests.append((txn_id, op.item))
+        return requests
 
     # ------------------------------------------------------------------
     def _step(

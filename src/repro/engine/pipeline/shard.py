@@ -42,12 +42,18 @@ class ShardSpec:
     retain_locks: bool = False
     #: periodic cross-shard counter synchronization (V-B 1b fairness).
     sync_interval: int | None = None
+    #: "numpy" routes Definition 6 decisions through the vectorized
+    #: batch core (decisions bit-identical; pure-Python when numpy is
+    #: absent) — see repro.core.batch.
+    decision_core: str = "python"
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be at least 1")
         if self.k < 1:
             raise ValueError("k must be at least 1")
+        if self.decision_core not in ("python", "numpy"):
+            raise ValueError("decision_core must be 'python' or 'numpy'")
 
 
 @dataclass
@@ -116,7 +122,11 @@ class ShardSet:
         if self.spec.n_shards == 1:
             from ...core.mtk import MTkScheduler
 
-            return MTkScheduler(self.spec.k, read_rule=self.spec.read_rule)
+            return MTkScheduler(
+                self.spec.k,
+                read_rule=self.spec.read_rule,
+                decision_core=self.spec.decision_core,
+            )
         from ...core.distributed import DMTkScheduler
 
         return DMTkScheduler(
@@ -127,6 +137,7 @@ class ShardSet:
             read_rule=self.spec.read_rule,
             retain_locks=self.spec.retain_locks,
             sync_interval=self.spec.sync_interval,
+            decision_core=self.spec.decision_core,
         )
 
     # ------------------------------------------------------------------

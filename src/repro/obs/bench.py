@@ -253,7 +253,10 @@ PROFILE_TOP = 8
 
 
 def run_seed(
-    name: str, seed: int, profile: bool = False
+    name: str,
+    seed: int,
+    profile: bool = False,
+    decision_core: str = "python",
 ) -> dict[str, Any]:
     """Execute one ``(scenario, seed)`` cell of a *registered* scenario.
 
@@ -261,7 +264,9 @@ def run_seed(
     picklable), fully determined by its arguments (all randomness flows
     through *seed*), and independent of every other cell.
     """
-    return _run_seed_for(scenarios()[name], seed, profile=profile)
+    return _run_seed_for(
+        scenarios()[name], seed, profile=profile, decision_core=decision_core
+    )
 
 
 #: Timed executions per (scenario, seed) cell; the reported wall time is
@@ -271,9 +276,19 @@ TIMED_REPEATS = 3
 
 
 def _run_seed_for(
-    scenario: Scenario, seed: int, profile: bool = False
+    scenario: Scenario,
+    seed: int,
+    profile: bool = False,
+    decision_core: str = "python",
 ) -> dict[str, Any]:
     """One scenario × seed execution; returns the per-seed counters.
+
+    ``decision_core="numpy"`` flips MT(k)-family schedulers onto the
+    vectorized batch core (``repro.core.batch``) before the run; the
+    attribute is read at ``reset()`` time inside ``execute``, so setting
+    it on the built scheduler is sufficient.  Schedulers without the
+    switch (TO, 2PL, optimistic, interval) run unchanged — decisions are
+    identical either way, so results stay comparable across cores.
 
     Tracing is disabled on both the scheduler and the executor — decisions
     do not depend on it, and the hot path must not pay for event dicts
@@ -298,6 +313,8 @@ def _run_seed_for(
             scheduler, shards = built.scheduler, built
         else:
             scheduler, shards = built, None
+        if decision_core != "python" and hasattr(scheduler, "decision_core"):
+            scheduler.decision_core = decision_core
         executor = PipelineExecutor(
             scheduler,
             max_attempts=scenario.max_attempts,
@@ -349,6 +366,9 @@ def _run_seed_for(
         "failed": len(report.failed),
         "stages": executor.stage_snapshot(),
     }
+    table = getattr(scheduler, "table", None)
+    if table is not None and getattr(table, "decision_core", "python") == "numpy":
+        result["batch_core"] = table.core_info()
     if profile_rows is not None:
         result["profile"] = profile_rows
     return result
@@ -475,6 +495,11 @@ def _aggregate(
     stages = _merge_stages(per_seed)
     if stages is not None:
         result["stages"] = stages
+    cores = [cell["batch_core"] for cell in per_seed if "batch_core" in cell]
+    if cores:
+        result["batch_core"] = {
+            key: sum(core[key] for core in cores) for key in cores[0]
+        }
     profiles = [cell["profile"] for cell in per_seed if "profile" in cell]
     if profiles:
         result["profile"] = _merge_profiles(profiles)
@@ -482,20 +507,96 @@ def _aggregate(
 
 
 def run_scenario(
-    scenario: Scenario, quick: bool = False, profile: bool = False
+    scenario: Scenario,
+    quick: bool = False,
+    profile: bool = False,
+    decision_core: str = "python",
 ) -> dict[str, Any]:
     """Execute one scenario across its seeds; returns the result record."""
     cells = [
-        _run_seed_for(scenario, seed, profile=profile)
+        _run_seed_for(
+            scenario, seed, profile=profile, decision_core=decision_core
+        )
         for seed in range(scenario.quick_seeds if quick else scenario.full_seeds)
     ]
     return _aggregate(scenario, cells)
 
 
-def _run_cell(task: tuple[str, int, bool]) -> tuple[str, int, dict[str, Any]]:
+def _run_cell(
+    task: tuple[str, int, bool, str]
+) -> tuple[str, int, dict[str, Any]]:
     """Pool entry point: one ``(scenario, seed)`` cell, tagged for reorder."""
-    name, seed, profile = task
-    return name, seed, run_seed(name, seed, profile=profile)
+    name, seed, profile, decision_core = task
+    return name, seed, run_seed(
+        name, seed, profile=profile, decision_core=decision_core
+    )
+
+
+def core_microbench(
+    n_txns: int = 192,
+    k: int = 3,
+    seed: int = 0,
+    repeats: int = 5,
+    hole_rate: float = 0.2,
+) -> dict[str, Any] | None:
+    """Decision-core microbench: all-pairs Definition 6 decisions over
+    *n_txns* random vectors, sequential scans vs the vectorized
+    :meth:`~repro.core.batch.BatchDecisionCore.compare_matrix`.
+
+    This measures exactly the work the core vectorizes — the batched
+    decisions themselves — which is where the paper's III-E parallelism
+    claim lives.  End-to-end scheduler throughput gains are necessarily
+    smaller (Amdahl: comparisons are ~30% of the executor's hot path;
+    see EXPERIMENTS.md).  Both sides are exact and produce identical
+    verdicts.  Returns ``None`` when numpy is absent.
+    """
+    import random
+
+    from ..core.batch import HAVE_NUMPY
+    from ..core.table import TimestampTable
+    from ..core.timestamp import compare
+
+    if not HAVE_NUMPY:
+        return None
+    rng = random.Random(seed)
+    table = TimestampTable(k, decision_core="numpy")
+    for txn in range(1, n_txns + 1):
+        vector = table.vector(txn)
+        for position in range(1, k + 1):
+            if rng.random() >= hole_rate:
+                vector.set(position, rng.randint(-50, 50))
+    txns = list(range(1, n_txns + 1))
+    core = table.batch_core
+    vector = table.vector
+
+    core.compare_matrix(txns)  # warm-up: sync all rows, prime caches
+    numpy_s = sequential_s = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        core.compare_matrix(txns)
+        elapsed = time.perf_counter() - start
+        numpy_s = elapsed if numpy_s is None else min(numpy_s, elapsed)
+        start = time.perf_counter()
+        for a in txns:
+            left = vector(a)
+            for b in txns:
+                if a != b:
+                    compare(left, vector(b))
+        elapsed = time.perf_counter() - start
+        sequential_s = (
+            elapsed if sequential_s is None else min(sequential_s, elapsed)
+        )
+    pairs = n_txns * n_txns - n_txns
+    return {
+        "n_txns": n_txns,
+        "k": k,
+        "pairs": pairs,
+        "python_ms": round(sequential_s * 1000.0, 3),
+        "numpy_ms": round(numpy_s * 1000.0, 3),
+        "python_pairs_per_s": round(pairs / sequential_s, 1),
+        "numpy_pairs_per_s": round(pairs / numpy_s, 1),
+        "speedup": round(sequential_s / numpy_s, 2),
+    }
 
 
 def run_bench(
@@ -504,6 +605,7 @@ def run_bench(
     out: str | Path | None = "BENCH_repro.json",
     jobs: int = 1,
     profile: bool = False,
+    decision_core: str = "python",
 ) -> dict[str, Any]:
     """Run the scenario family and write the consolidated JSON.
 
@@ -517,9 +619,17 @@ def run_bench(
     to a ``jobs=1`` run.  ``profile=True`` attaches a per-scenario cProfile
     top-hotspot breakdown; the profiler only runs on the first timed repeat,
     so the minimum-of-repeats wall clock still comes from unprofiled runs.
+
+    ``decision_core="numpy"`` routes MT(k)-family scenarios through the
+    vectorized batch core (identical decisions; recorded in the payload).
+    The payload always carries a ``decision_core_bench`` section — the
+    all-pairs microbench isolating the batched-decision speedup — when
+    numpy is importable, whichever core the scenarios ran on.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if decision_core not in ("python", "numpy"):
+        raise ValueError("decision_core must be 'python' or 'numpy'")
     table = scenarios()
     selected = list(only) if only else sorted(table)
     unknown = [name for name in selected if name not in table]
@@ -528,7 +638,7 @@ def run_bench(
             f"unknown scenario(s) {unknown}; available: {sorted(table)}"
         )
     tasks = [
-        (name, seed, profile)
+        (name, seed, profile, decision_core)
         for name in selected
         for seed in range(
             table[name].quick_seeds if quick else table[name].full_seeds
@@ -564,8 +674,12 @@ def run_bench(
         "quick": quick,
         "jobs": jobs,
         "python": platform.python_version(),
+        "decision_core": decision_core,
         "scenarios": results,
     }
+    microbench = core_microbench()
+    if microbench is not None:
+        payload["decision_core_bench"] = microbench
     if out is not None:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
     return payload

@@ -1,0 +1,440 @@
+"""Tests of the vectorized batch decision core (``repro.core.batch``).
+
+The core's contract is *invisibility*: with ``decision_core="numpy"``
+every Definition 6 verdict — batched, primed, or fallen back — must be
+bit-identical to the pure-Python sequential scan, and with numpy absent
+the switch must silently degrade to the Python path.  The hypothesis
+property below drives the packing and mask arithmetic over arbitrary
+hole patterns, wide vectors past the ``Comparison`` intern limit, and
+DMT-style ``(counter, site)`` k-th columns; the scheduler- and
+executor-level classes assert end-to-end equivalence including the
+speculative admission-window priming.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import batch
+from repro.core.batch import (
+    HAVE_NUMPY,
+    SITE_BITS,
+    make_core,
+    pack_element,
+)
+from repro.core.distributed import DMTkScheduler
+from repro.core.mtk import MTkScheduler
+from repro.core.table import TimestampTable, VIRTUAL_TXN
+from repro.core.timestamp import Comparison, compare
+from repro.engine.executor import TransactionExecutor
+from repro.model.generator import WorkloadSpec, random_log
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy unavailable; core degrades to python"
+)
+
+#: Domain bounds within which packing must be exact.
+_COUNTER_LIMIT = 1 << (63 - SITE_BITS)
+
+
+# ----------------------------------------------------------------------
+# Element packing
+# ----------------------------------------------------------------------
+class TestPackElement:
+    def test_int_packs_into_high_bits(self):
+        assert pack_element(5) == 5 << SITE_BITS
+        assert pack_element(-3) == -3 << SITE_BITS
+        assert pack_element(0) == 0
+
+    def test_tuple_packs_counter_high_site_low(self):
+        assert pack_element((5, 2)) == (5 << SITE_BITS) | 2
+        assert pack_element((-1, 7)) == (-1 << SITE_BITS) | 7
+
+    def test_int_sorts_with_site_zero_tuple_boundary(self):
+        # Within one column types never mix, but the packed axis is
+        # shared: e and (e, 0) coincide by construction.
+        assert pack_element(4) == pack_element((4, 0))
+
+    @pytest.mark.parametrize(
+        "element",
+        [
+            True,  # bool is not a counter value
+            1 << 60,  # counter overflow
+            -(1 << 60),
+            (1 << 60, 0),  # tuple counter overflow
+            (1, 1 << 16),  # site out of range
+            (1, -1),  # negative site
+            (1, 2, 3),  # wrong arity
+            ("a", 1),  # non-int counter
+            (1, "a"),  # non-int site
+            "x",  # not an element type
+            None,
+            1.5,
+        ],
+    )
+    def test_unpackable_domain(self, element):
+        assert pack_element(element) is None
+
+    @given(
+        st.integers(-_COUNTER_LIMIT + 1, _COUNTER_LIMIT - 1),
+        st.integers(-_COUNTER_LIMIT + 1, _COUNTER_LIMIT - 1),
+    )
+    @settings(max_examples=200)
+    def test_int_packing_preserves_order(self, a, b):
+        pa, pb = pack_element(a), pack_element(b)
+        assert (pa < pb) == (a < b)
+        assert (pa == pb) == (a == b)
+
+    @given(
+        st.tuples(st.integers(-(1 << 40), 1 << 40), st.integers(0, (1 << 16) - 1)),
+        st.tuples(st.integers(-(1 << 40), 1 << 40), st.integers(0, (1 << 16) - 1)),
+    )
+    @settings(max_examples=200)
+    def test_tuple_packing_preserves_order(self, a, b):
+        pa, pb = pack_element(a), pack_element(b)
+        assert (pa < pb) == (a < b)
+        assert (pa == pb) == (a == b)
+
+
+# ----------------------------------------------------------------------
+# Batch decisions == sequential scans (the tentpole property)
+# ----------------------------------------------------------------------
+@st.composite
+def filled_tables(draw):
+    """A table (numpy core) with 2-4 vectors of arbitrary hole patterns.
+
+    Covers k past ``Comparison.INTERN_LIMIT`` (wide verdicts are fresh
+    objects, not interned) and DMT-style site-tagged k-th columns.
+    """
+    k = draw(st.integers(min_value=1, max_value=24))
+    site_tagged = draw(st.booleans())
+    n = draw(st.integers(min_value=2, max_value=4))
+    rows = []
+    for _ in range(n):
+        row = []
+        for pos in range(1, k + 1):
+            if draw(st.booleans()):
+                row.append(None)  # hole: leave position undefined
+            elif site_tagged and pos == k:
+                row.append(
+                    (draw(st.integers(-5, 5)), draw(st.integers(0, 3)))
+                )
+            else:
+                row.append(draw(st.integers(-9, 9)))
+        rows.append(row)
+    return k, site_tagged, rows
+
+
+@requires_numpy
+class TestBatchMatchesSequential:
+    @given(filled_tables())
+    @settings(max_examples=250, deadline=None)
+    def test_all_pairs_bit_identical(self, case):
+        k, site_tagged, rows = case
+        table = TimestampTable(k, decision_core="numpy")
+        txns = list(range(1, len(rows) + 1))
+        for txn, row in zip(txns, rows):
+            vector = table.vector(txn)
+            for pos, value in enumerate(row, start=1):
+                if value is not None:
+                    vector.set(pos, value)
+        # T0's preset column-1 integer only type-clashes with tuples
+        # when k == 1 (pure Python would TypeError on that pair too).
+        if not (site_tagged and k == 1):
+            txns.append(VIRTUAL_TXN)
+        pairs = [(a, b) for a in txns for b in txns if a != b]
+        core = table.batch_core
+        for (a, b), got in zip(pairs, core.compare_pairs(pairs)):
+            want = compare(table.vector(a), table.vector(b))
+            assert got == want
+            if want.position <= Comparison.INTERN_LIMIT:
+                # Interned range: identity, not merely value equality.
+                assert got is want
+
+    def test_wide_k_past_intern_limit(self):
+        k = Comparison.INTERN_LIMIT + 4
+        table = TimestampTable(k, decision_core="numpy")
+        for pos in range(1, k + 1):
+            table.vector(1).set(pos, pos)
+            table.vector(2).set(pos, pos if pos < k else pos + 1)
+        [got] = table.batch_core.compare_pairs([(1, 2)])
+        want = compare(table.vector(1), table.vector(2))
+        assert got == want
+        assert got.position == k > Comparison.INTERN_LIMIT
+
+    def test_identical_vectors(self):
+        table = TimestampTable(3, decision_core="numpy")
+        for txn in (1, 2):
+            for pos in range(1, 4):
+                table.vector(txn).set(pos, pos)
+        [got] = table.batch_core.compare_pairs([(1, 2)])
+        assert got == compare(table.vector(1), table.vector(2))
+        assert got.ordering.value == "=="
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: unpackable rows take the sequential scan
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestUnpackableFallback:
+    def test_huge_int_falls_back_exactly(self):
+        table = TimestampTable(2, decision_core="numpy")
+        table.vector(1).set(1, 1 << 60)
+        table.vector(2).set(1, 5)
+        core = table.batch_core
+        results = core.compare_pairs([(1, 2), (2, 1)])
+        assert results[0] == compare(table.vector(1), table.vector(2))
+        assert results[1] == compare(table.vector(2), table.vector(1))
+        assert core.fallbacks == 2
+
+    def test_fallback_is_per_pair_not_per_batch(self):
+        table = TimestampTable(2, decision_core="numpy")
+        table.vector(1).set(1, 1 << 60)  # unpackable row
+        table.vector(2).set(1, 5)
+        table.vector(3).set(1, 7)
+        core = table.batch_core
+        results = core.compare_pairs([(1, 2), (2, 3)])
+        assert core.fallbacks == 1  # only the pair touching row 1
+        assert results[0] == compare(table.vector(1), table.vector(2))
+        assert results[1] == compare(table.vector(2), table.vector(3))
+
+    def test_huge_tuple_counter_falls_back(self):
+        table = TimestampTable(1, decision_core="numpy")
+        table.vector(1).set(1, (1 << 60, 2))
+        table.vector(2).set(1, (4, 1))
+        [got] = table.batch_core.compare_pairs([(1, 2)])
+        assert got == compare(table.vector(1), table.vector(2))
+        assert table.batch_core.fallbacks == 1
+
+
+# ----------------------------------------------------------------------
+# Mirror-row lifecycle: lazy sync, invalidation, reclaim, growth
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestRowLifecycle:
+    def test_unmutated_rows_are_not_resynced(self):
+        table = TimestampTable(2, decision_core="numpy")
+        table.vector(1).set(1, 1)
+        table.vector(2).set(1, 2)
+        core = table.batch_core
+        first = core.compare_pairs([(1, 2)])
+        synced = core.syncs
+        again = core.compare_pairs([(1, 2)])
+        assert core.syncs == synced  # mirror already current
+        assert first == again
+
+    def test_mutation_invalidates_row(self):
+        table = TimestampTable(2, decision_core="numpy")
+        table.vector(1).set(1, 1)
+        table.vector(2).set(1, 1)
+        core = table.batch_core
+        [before] = core.compare_pairs([(1, 2)])
+        table.vector(2).set(2, 9)  # version bump
+        [after] = core.compare_pairs([(1, 2)])
+        assert after == compare(table.vector(1), table.vector(2))
+        assert before != after
+
+    def test_reclaim_forgets_row_and_reuses_slot(self):
+        table = TimestampTable(2, decision_core="numpy")
+        table.vector(1).set(1, 1)
+        table.vector(2).set(1, 2)
+        core = table.batch_core
+        core.compare_pairs([(1, 2)])
+        row = core._row_of[2]
+        old_vector = table.vector(2)
+        table.reclaim(2)
+        assert 2 not in core._row_of
+        assert core._vec_of[row] is not old_vector  # no strong-ref leak
+        # The freed slot is recycled for the next new transaction, and a
+        # rematerialized T2 gets a fresh (identity-checked) encoding.
+        table.vector(2).set(1, 7)
+        core.compare_pairs([(1, 2)])
+        assert core._row_of[2] == row
+        [got] = core.compare_pairs([(1, 2)])
+        assert got == compare(table.vector(1), table.vector(2))
+
+    def test_plane_growth_past_initial_capacity(self):
+        table = TimestampTable(2, decision_core="numpy")
+        n = batch.BatchDecisionCore._INITIAL_ROWS + 8
+        for txn in range(1, n + 1):
+            table.vector(txn).set(1, txn)
+        pairs = [(txn, txn + 1) for txn in range(1, n)]
+        results = table.batch_core.compare_pairs(pairs)
+        for (a, b), got in zip(pairs, results):
+            assert got is compare(table.vector(a), table.vector(b))
+
+
+# ----------------------------------------------------------------------
+# Speculative priming: primed verdicts must be invisible
+# ----------------------------------------------------------------------
+def _drive(table, script, prime=False):
+    """Replay (txn, item, kind) steps like the scheduler's hot path:
+    ``order_after_latest`` then an index update on success.  With
+    ``prime=True`` every step is batch-primed first (window of one)."""
+    outcomes = []
+    for txn, item, kind in script:
+        if prime:
+            table.prime_requests([(txn, item)])
+        j, outcome = table.order_after_latest(item, txn)
+        outcomes.append((j, outcome.ok, outcome.comparison, outcome.encoded))
+        if outcome.ok:
+            (table.set_rt if kind == "r" else table.set_wt)(item, txn)
+    return outcomes
+
+
+_SCRIPT = [
+    (1, "x", "r"),
+    (2, "x", "w"),
+    (1, "y", "w"),
+    (3, "x", "r"),
+    (2, "y", "r"),
+    (3, "y", "w"),
+]
+
+
+@requires_numpy
+class TestPriming:
+    def test_primed_path_matches_plain_path(self):
+        plain = TimestampTable(2, decision_core="numpy")
+        primed = TimestampTable(2, decision_core="numpy")
+        assert _drive(plain, _SCRIPT) == _drive(primed, _SCRIPT, prime=True)
+        for txn in (1, 2, 3):
+            assert (
+                plain.vector(txn).snapshot() == primed.vector(txn).snapshot()
+            )
+        assert primed.batch_core.pairs_decided > 0
+
+    def test_prime_entry_is_consumed_once(self):
+        table = TimestampTable(2, decision_core="numpy")
+        assert table.prime_requests([(1, "x")]) == 1
+        assert (1, "x") in table._primed
+        table.order_after_latest("x", 1)
+        assert (1, "x") not in table._primed
+
+    def test_stale_prime_fails_validation(self):
+        table = TimestampTable(2, decision_core="numpy")
+        control = TimestampTable(2)
+        table.prime_requests([(2, "x")])
+        # The world moves on before T2's request arrives: T1 writes x,
+        # changing WT(x) from under the primed entry.
+        for t in (table, control):
+            j, outcome = t.order_after_latest("x", 1)
+            assert outcome.ok
+            t.set_wt("x", 1)
+        got = table.order_after_latest("x", 2)
+        want = control.order_after_latest("x", 2)
+        assert got[0] == want[0]
+        assert got[1].ok == want[1].ok
+        assert got[1].comparison == want[1].comparison
+        assert table.vector(2).snapshot() == control.vector(2).snapshot()
+
+    def test_priming_is_noop_on_python_core(self):
+        table = TimestampTable(2)  # decision_core defaults to python
+        assert table.prime_requests([(1, "x")]) == 0
+        assert table._primed == {}
+
+
+# ----------------------------------------------------------------------
+# Scheduler- and executor-level equivalence (the fuzz rule, statically)
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestEndToEndEquivalence:
+    @given(small_logs())
+    @settings(max_examples=80, deadline=None)
+    def test_mt3_runs_identically(self, log):
+        base = MTkScheduler(3).run(log)
+        vectored_scheduler = MTkScheduler(3, decision_core="numpy")
+        vectored = vectored_scheduler.run(log)
+        assert [d.status for d in base.decisions] == [
+            d.status for d in vectored.decisions
+        ]
+        assert base.aborted == vectored.aborted
+        assert vectored_scheduler.table.decision_core == "numpy"
+
+    @given(small_logs())
+    @settings(max_examples=50, deadline=None)
+    def test_dmt2_runs_identically(self, log):
+        base = DMTkScheduler(2).run(log)
+        vectored = DMTkScheduler(2, decision_core="numpy").run(log)
+        assert [d.status for d in base.decisions] == [
+            d.status for d in vectored.decisions
+        ]
+        assert base.aborted == vectored.aborted
+
+    def test_serialization_order_uses_core_and_matches(self):
+        log = Log.parse("R1[a] W2[a] R3[b] W1[b] R4[a] W3[a] R2[b] W4[b]")
+        base = MTkScheduler(3)
+        base.run(log)
+        vectored = MTkScheduler(3, decision_core="numpy")
+        vectored.run(log)
+        assert vectored.serialization_order() == base.serialization_order()
+        # >2 live transactions: the all-pairs batch actually ran.
+        assert vectored.table.batch_core.pairs_decided > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_primed_executor_report_is_bit_identical(self, seed):
+        spec = WorkloadSpec(
+            num_txns=6, ops_per_txn=4, num_items=3, write_ratio=0.5
+        )
+        log = random_log(spec, random.Random(seed))
+        transactions = list(log.transactions.values())
+        legacy = TransactionExecutor(MTkScheduler(2)).execute(
+            transactions, schedule=log
+        )
+        primed_scheduler = MTkScheduler(2, decision_core="numpy")
+        primed = TransactionExecutor(primed_scheduler).execute(
+            transactions, schedule=log
+        )
+        assert primed.committed == legacy.committed
+        assert primed.failed == legacy.failed
+        assert primed.restarts == legacy.restarts
+        assert primed.ops_executed == legacy.ops_executed
+        assert primed.ops_reexecuted == legacy.ops_reexecuted
+        assert primed.committed_ops == legacy.committed_ops
+        # The admission windows actually primed the core.
+        assert primed_scheduler.table.batch_core.pairs_decided > 0
+
+    def test_fuzz_rule_clean_on_paper_example(self):
+        from repro.check.fuzz import check_case, vectorized_violations
+
+        log = Log.parse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+        assert vectorized_violations(log) == []
+        rules = {v.rule for v in check_case(log, run_executor=False)}
+        assert "vectorized-equivalence" not in rules
+
+
+# ----------------------------------------------------------------------
+# numpy-absent degradation (the "accelerator, never a dependency" leg)
+# ----------------------------------------------------------------------
+class TestNumpyAbsentFallback:
+    def test_switch_degrades_silently(self, monkeypatch):
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        table = TimestampTable(2, decision_core="numpy")
+        assert table.decision_core == "python"
+        assert table.batch_core is None
+        assert table.core_info()["pairs_decided"] == 0
+        assert table.prime_requests([(1, "x")]) == 0
+
+    def test_scheduler_still_runs(self, monkeypatch):
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        scheduler = MTkScheduler(2, decision_core="numpy")
+        result = scheduler.run(Log.parse("R1[x] W2[x] R1[y] W1[y]"))
+        assert not scheduler.wants_priming
+        assert result.decisions
+        base = MTkScheduler(2).run(Log.parse("R1[x] W2[x] R1[y] W1[y]"))
+        assert [d.status for d in result.decisions] == [
+            d.status for d in base.decisions
+        ]
+
+    def test_make_core_returns_none(self, monkeypatch):
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        assert make_core(TimestampTable(2)) is None
+
+    def test_invalid_switch_rejected(self):
+        with pytest.raises(ValueError, match="decision_core"):
+            TimestampTable(2, decision_core="simd")
+        with pytest.raises(ValueError, match="decision_core"):
+            MTkScheduler(2, decision_core="simd")

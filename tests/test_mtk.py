@@ -41,12 +41,16 @@ class TestExample2:
     """Example 2 / Fig. 3 / Table I: the full vector recording."""
 
     EXPECTED_TRACE = [
-        # (after op index, {txn: vector}) — the rows of Table I.
+        # (after op index, {txn: vector}) — the rows of Table I.  The paper
+        # prints TS(3) = <1, 0> because its lcount starts at 0; ours starts
+        # at -1 so the first lower draw cannot duplicate T0's preset k-th
+        # element at k = 1 (see TestLowerCounterAvoidsVirtualZero).  The
+        # relative order — and hence every decision — is unchanged.
         (1, {1: (1, None)}),
         (2, {2: (1, None)}),
         (3, {3: (1, None)}),
         (4, {1: (1, 2), 2: (1, 1)}),
-        (5, {3: (1, 0)}),
+        (5, {3: (1, -1)}),
     ]
 
     def test_accepted(self, example2_log):
@@ -69,7 +73,7 @@ class TestExample2:
         assert scheduler.table.vector(0).snapshot() == (0, None)
         assert scheduler.table.vector(1).snapshot() == (1, 2)
         assert scheduler.table.vector(2).snapshot() == (1, 1)
-        assert scheduler.table.vector(3).snapshot() == (1, 0)
+        assert scheduler.table.vector(3).snapshot() == (1, -1)  # paper: <1, 0>; lcount now starts at -1
 
     def test_equivalent_serial_orders(self, example2_log):
         """The paper: L is equivalent to T3 T2 T1 or T2 T3 T1."""

@@ -132,3 +132,136 @@ class TestOptimizedEncodingHoles:
         NormalEncoding().encode_semi(ts_norm_j, ts_norm_i, 1, Counters(), "x")
         assert ts_cold_j.snapshot() == ts_norm_j.snapshot()
         assert ts_cold_i.snapshot() == ts_norm_i.snapshot()
+
+
+class TestParallelComparatorInterning:
+    """Bug 4 (PR 6): the III-E simulator constructed fresh
+    ``Comparison(...)`` objects per simulated comparison — allocating on
+    every call and breaking the identity-equality (``is``) contract the
+    interned sequential results provide."""
+
+    def test_results_are_interned_singletons(self):
+        from repro.core.vector_processor import VectorComparator
+
+        comparator = VectorComparator(3)
+        left = TimestampVector(3, [1, UNDEFINED, 5])
+        right = TimestampVector(3, [1, 2, UNDEFINED])
+        result = comparator.compare(left, right)
+        assert result.comparison is compare(left, right)
+
+    def test_identical_outcome_is_interned(self):
+        from repro.core.vector_processor import VectorComparator
+
+        comparator = VectorComparator(2)
+        left = TimestampVector(2, [1, 2])
+        right = TimestampVector(2, [1, 2])
+        assert comparator.compare(left, right).comparison is compare(
+            left, right
+        )
+
+
+class TestLowerCounterAvoidsVirtualZero:
+    """Bug 5 (PR 6): ``Counters()`` started ``lcount`` at 0, colliding
+    with the virtual transaction's preset element (``table.py`` sets
+    ``virtual.set(1, 0)``).  At ``k = 1`` the first ``fresh_lower()``
+    issued 0, duplicating T0's k-th element: two *identical* vectors make
+    ``Set`` unorderable (``set_less`` raises on IDENTICAL)."""
+
+    def test_first_lower_value_is_not_zero(self):
+        assert Counters().fresh_lower() == -1
+
+    def test_k1_lower_draw_does_not_duplicate_t0(self):
+        from repro.core.table import TimestampTable, VIRTUAL_TXN
+
+        table = TimestampTable(1)
+        assert table.set_less(VIRTUAL_TXN, 1).ok  # TS(1) := <1> (upper)
+        # T2 must be ordered before T1 while T1 is defined and T2 is not:
+        # the ? rule at position k draws from lcount for the undefined side.
+        outcome = table.set_less(2, 1)
+        assert outcome.ok
+        column = table.column(1)
+        assert len(column) == len(set(column)), "k-th column not distinct"
+        # Before the fix TS(2) == TS(0) == <0>; any later Set against T0
+        # raised RuntimeError("vectors ... are identical").
+        ordering = compare(table.vector(2), table.vector(VIRTUAL_TXN)).ordering
+        assert ordering is not Ordering.IDENTICAL
+        table.set_less(VIRTUAL_TXN, 2)  # must not raise
+
+    def test_mt1_survives_lower_draw_against_fresh_item(self):
+        # Scheduler-level shape of the same bug: MT(1) where a lower-column
+        # draw lands next to the virtual transaction's 0.
+        scheduler = MTkScheduler(1)
+        table = scheduler.table
+        table.set_less(0, 1)
+        table.set_less(2, 1)
+        order = scheduler.serialization_order()  # must not raise
+        assert set(order) == {1, 2}
+
+
+class TestReclaimPurgesComparisonCache:
+    """Bug 6 (PR 6): ``TimestampTable.reclaim()`` dropped the slab row but
+    left ``ComparisonCache`` entries pinning strong references to the dead
+    vector — the reclaimed row stayed alive (keyed by a dead txn id) until
+    FIFO eviction."""
+
+    def test_reclaim_drops_cache_entries(self):
+        from repro.core.table import TimestampTable
+
+        table = TimestampTable(2)
+        table.set_less(0, 1)
+        table.set_less(1, 2)
+        victim = table.vector(1)
+        # Warm the cache with comparisons involving T1 on both sides.
+        table.compare_vectors(victim, table.vector(2))
+        table.compare_vectors(table.vector(2), victim)
+        entries = table._cache._entries
+        assert any(
+            entry[0] is victim or entry[1] is victim
+            for entry in entries.values()
+        )
+        table.reclaim(1)
+        assert not any(
+            entry[0] is victim or entry[1] is victim
+            for entry in entries.values()
+        ), "reclaimed row still pinned by the comparison cache"
+
+    def test_purge_is_scoped_to_the_reclaimed_row(self):
+        from repro.core.table import TimestampTable
+
+        table = TimestampTable(2)
+        table.set_less(0, 1)
+        table.set_less(1, 2)
+        table.set_less(2, 3)
+        table.compare_vectors(table.vector(2), table.vector(3))
+        before = len(table._cache)
+        assert before > 0
+        table.reclaim(1)
+        survivors = [
+            entry
+            for entry in table._cache._entries.values()
+            if entry[0] is table.vector(2) or entry[1] is table.vector(3)
+        ]
+        assert survivors, "unrelated cache entries were purged"
+
+
+class TestCopyPreservesEpochs:
+    """Bug 7 (PR 6): ``TimestampVector.copy()`` restarted the clone at
+    version 0 / flush epoch 0, silently defeating the cache's flush-epoch
+    staleness test if a copy is ever substituted for the original."""
+
+    def test_copy_carries_version_and_flushes(self):
+        vector = TimestampVector(3)
+        vector.set(1, 4)
+        vector.flush()
+        vector.set(2, 9)
+        clone = vector.copy()
+        assert clone.snapshot() == vector.snapshot()
+        assert clone.version == vector.version
+        assert clone.flush_count == vector.flush_count
+
+    def test_copy_is_still_independent(self):
+        vector = TimestampVector(2, [1, UNDEFINED])
+        clone = vector.copy()
+        clone.set(2, 5)
+        assert vector.get(2) is UNDEFINED
+        assert clone.version == vector.version + 1

@@ -59,7 +59,7 @@ class TestSetProcedure:
         outcome = table.set_less(2, 1)
         # SEMI at position 2, TS(2,2) undefined -> lcount
         assert outcome.ok
-        assert table.vector(2).get(2) == 0  # initial lcount
+        assert table.vector(2).get(2) == -1  # initial lcount
         assert compare(table.vector(2), table.vector(1)).ordering is Ordering.LESS
 
     def test_semi_case_at_k_upper(self):
