@@ -35,7 +35,16 @@ outcomes against the paper's (empirically verified) class hierarchy:
   shard its report must be **bit-for-bit identical** to the legacy
   ``TransactionExecutor(MTkScheduler(2))`` — same committed/failed
   sets, same counters, same committed-operation sequence
-  (``pipeline-legacy-equivalence``).
+  (``pipeline-legacy-equivalence``);
+* the parallel execution plane must be a pure transport: for every
+  shard count the windowed lane running MT(2) shard schedulers in
+  worker *processes* must produce a report bit-for-bit identical to
+  the same windowed plan executed in-process (``parallel-equivalence``),
+  and that common report's committed projection must be DSR
+  (``parallel-dsr``).  A deliberately small window forces multi-window
+  plans so the cross-window carry/merge paths are exercised.  Off by
+  default (worker pools per case are expensive); enabled via
+  ``FuzzConfig(parallel=True)`` or ``check_case(check_parallel=True)``.
 
 Intentionally *not* checked, because they are false: TO(k) monotonicity
 in ``k`` (Fig. 4 regions 2 and 6 are real), flat-log DSR for the
@@ -139,6 +148,7 @@ def check_case(
     run_executor: bool = True,
     check_cache: bool = True,
     check_vectorized: bool = True,
+    check_parallel: bool = False,
     shards: tuple[int, ...] = DEFAULT_SHARDS,
 ) -> list[Violation]:
     """Run one log through the whole matrix; return every rule violation.
@@ -226,6 +236,8 @@ def check_case(
         violations.extend(executor_violations(log, oracle))
         if shards:
             violations.extend(pipeline_violations(log, oracle, shards=shards))
+    if check_parallel and shards:
+        violations.extend(parallel_violations(log, oracle, shards=shards))
     return violations
 
 
@@ -442,6 +454,99 @@ def pipeline_violations(
     return violations
 
 
+#: Window size the parallel-equivalence rule runs at.  Deliberately
+#: tiny: fuzz cases are a handful of operations, and a small window
+#: forces multi-window plans so the carried-decision, row-shipping and
+#: cross-window merge paths are all exercised rather than a single
+#: degenerate one-window run.
+PARALLEL_FUZZ_WINDOW = 8
+
+
+def parallel_violations(
+    log: Log,
+    oracle: SerializabilityOracle | None = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    window: int = PARALLEL_FUZZ_WINDOW,
+    workers: int = 2,
+) -> list[Violation]:
+    """Parallel-plane checks: worker processes must be a pure transport.
+
+    For every shard count, the windowed lane is run twice over the same
+    schedule — once in-process (``parallel=0``) and once with *workers*
+    worker processes — and the two reports must match bit for bit
+    (``parallel-equivalence``): same committed/failed sets, same retry
+    and undo counters, same committed-operation sequence.  The common
+    committed projection must additionally be DSR (``parallel-dsr``) —
+    the windowed lane is its own deterministic interleaving, distinct
+    from the staged lane, so its soundness is checked separately.
+    """
+    oracle = oracle if oracle is not None else SerializabilityOracle()
+    violations: list[Violation] = []
+    text = str(log)
+    transactions = list(log.transactions.values())
+    if not transactions:
+        return violations
+    for n_shards in shards:
+        reports = []
+        for parallel in (0, workers):
+            service = TransactionService(
+                k=2, n_shards=n_shards, parallel=parallel, window=window
+            )
+            try:
+                service.submit_programs(transactions)
+                reports.append(service.run(schedule=log))
+            finally:
+                service.close()
+        inline, processed = reports
+        mismatches = [
+            fname
+            for fname, got, want in (
+                ("committed", processed.committed, inline.committed),
+                ("failed", processed.failed, inline.failed),
+                ("restarts", processed.restarts, inline.restarts),
+                ("ops_executed", processed.ops_executed, inline.ops_executed),
+                (
+                    "ops_reexecuted",
+                    processed.ops_reexecuted,
+                    inline.ops_reexecuted,
+                ),
+                (
+                    "ignored_writes",
+                    processed.ignored_writes,
+                    inline.ignored_writes,
+                ),
+                ("undo_count", processed.undo_count, inline.undo_count),
+                (
+                    "committed_ops",
+                    processed.committed_ops,
+                    inline.committed_ops,
+                ),
+            )
+            if got != want
+        ]
+        if mismatches:
+            violations.append(
+                Violation(
+                    "parallel-equivalence",
+                    text,
+                    f"parallel[shards={n_shards}, workers={workers}, "
+                    f"window={window}] diverged from in-process windowed "
+                    f"execution in: {', '.join(mismatches)}",
+                )
+            )
+        if not oracle.is_dsr(inline.committed_log):
+            violations.append(
+                Violation(
+                    "parallel-dsr",
+                    text,
+                    f"parallel[shards={n_shards}, window={window}] "
+                    "committed a non-DSR projection "
+                    f"{inline.committed_log}",
+                )
+            )
+    return violations
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FuzzConfig:
@@ -458,6 +563,9 @@ class FuzzConfig:
     max_counterexamples: int = 5
     #: Shard counts the pipeline service is checked with per case.
     shards: tuple[int, ...] = DEFAULT_SHARDS
+    #: Also run the ``parallel-equivalence`` rule per case (spins up a
+    #: worker pool per shard count, so it is opt-in).
+    parallel: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -469,6 +577,7 @@ class FuzzConfig:
             "shrink": self.shrink,
             "max_counterexamples": self.max_counterexamples,
             "shards": list(self.shards),
+            "parallel": self.parallel,
         }
 
 
@@ -538,6 +647,7 @@ def shrink_case(
     rule: str,
     matrix: Mapping[str, SchedulerFactory] | None = None,
     shards: tuple[int, ...] = DEFAULT_SHARDS,
+    check_parallel: bool = False,
 ) -> Log:
     """ddmin a failing log down to a 1-minimal operation subsequence that
     still violates *rule* (through the same full :func:`check_case`)."""
@@ -547,7 +657,13 @@ def shrink_case(
         sub = Log(tuple(ops))
         return any(
             v.rule == rule
-            for v in check_case(sub, matrix=matrix, oracle=oracle, shards=shards)
+            for v in check_case(
+                sub,
+                matrix=matrix,
+                oracle=oracle,
+                check_parallel=check_parallel,
+                shards=shards,
+            )
         )
 
     minimal = ddmin(tuple(log.operations), still_fails)
@@ -573,7 +689,11 @@ def run_fuzz(
         rng = random.Random(f"{config.seed}:{case}")
         log = _case_log(config, rng)
         violations = check_case(
-            log, matrix=matrix, oracle=oracle, shards=config.shards
+            log,
+            matrix=matrix,
+            oracle=oracle,
+            check_parallel=config.parallel,
+            shards=config.shards,
         )
         report.cases += 1
         report.violations += len(violations)
@@ -584,7 +704,13 @@ def run_fuzz(
         if violations and len(report.counterexamples) < config.max_counterexamples:
             worst = violations[0]
             shrunk = (
-                shrink_case(log, worst.rule, matrix=matrix, shards=config.shards)
+                shrink_case(
+                    log,
+                    worst.rule,
+                    matrix=matrix,
+                    shards=config.shards,
+                    check_parallel=config.parallel,
+                )
                 if config.shrink
                 else log
             )

@@ -160,6 +160,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             profile=args.profile,
             decision_core=args.decision_core,
+            parallel=args.parallel,
+            window=args.window,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
@@ -258,6 +260,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             seed=args.seed,
             shrink=not args.no_shrink,
             shards=tuple(args.shards),
+            parallel=args.check_parallel,
         )
         report = run_fuzz(config, progress=fuzz_progress)
         counterexample_report = report
@@ -369,6 +372,22 @@ def build_parser() -> argparse.ArgumentParser:
         "numpy is absent)",
     )
     p_bench.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override worker-process count for windowed-plane scenarios "
+        "(0 = in-process engines; forces --jobs 1 when N > 1)",
+    )
+    p_bench.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="override the admission window size for windowed-plane "
+        "scenarios",
+    )
+    p_bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     p_bench.set_defaults(func=cmd_bench)
@@ -405,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard counts the pipeline service is fuzzed with "
         "(default: 1 2 4)",
+    )
+    p_check.add_argument(
+        "--check-parallel",
+        action="store_true",
+        help="also fuzz the parallel execution plane: worker-process "
+        "runs must be bit-identical to in-process windowed runs at "
+        "every shard count (slower; spawns worker pools per case)",
     )
     p_check.add_argument(
         "--limit",

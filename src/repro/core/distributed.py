@@ -95,6 +95,7 @@ class DMTkScheduler(MTkScheduler):
         read_rule: str = "line9",
         trace: bool = False,
         decision_core: str = "python",
+        anti_starvation: bool = False,
     ) -> None:
         if num_sites < 1:
             raise ValueError("need at least one site")
@@ -116,7 +117,11 @@ class DMTkScheduler(MTkScheduler):
             lambda item: hash(item) % num_sites
         )
         super().__init__(
-            k, read_rule=read_rule, trace=trace, decision_core=decision_core
+            k,
+            read_rule=read_rule,
+            trace=trace,
+            decision_core=decision_core,
+            anti_starvation=anti_starvation,
         )
         self.name = f"DMT({k})x{num_sites}"
 

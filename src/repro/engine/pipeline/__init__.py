@@ -22,6 +22,14 @@ from .admission import (
     RetryPolicy,
     resolve_policy,
 )
+from .parallel import (
+    DEFAULT_WINDOW,
+    ParallelExecutionError,
+    ParallelShardSet,
+    ShardEngine,
+    default_start_method,
+    plan_fanout,
+)
 from .report import ExecutionReport
 from .router import ShardRouter, stable_hash
 from .service import PipelineExecutor
@@ -31,16 +39,22 @@ from .shard import Shard, ShardSet, ShardSpec
 __all__ = [
     "AdmissionQueue",
     "CappedBackoff",
+    "DEFAULT_WINDOW",
+    "default_start_method",
     "ExecutionReport",
     "GlobalRestart",
     "ImmediateRetry",
-    "POLICIES",
+    "ParallelExecutionError",
+    "ParallelShardSet",
     "PipelineExecutor",
+    "plan_fanout",
+    "POLICIES",
     "RetryPolicy",
     "resolve_policy",
     "Session",
     "SessionError",
     "Shard",
+    "ShardEngine",
     "ShardRouter",
     "ShardSet",
     "ShardSpec",

@@ -148,7 +148,8 @@ class AdmissionQueue:
         """True when the queue degenerates to the legacy flat list (the
         service then runs its inline fast lane over it)."""
         return (
-            self.capacity is None
+            not self._open_loop
+            and self.capacity is None
             and self.batch_size is None
             and not self.retry_policy.delays
         )
@@ -173,7 +174,56 @@ class AdmissionQueue:
         self.waits = 0
         self.batches = 0
         self.max_depth = 0
+        self._open_loop = False
+        self._arrivals: dict[int, int] = {}
+        self._latencies: list[int] = []
         self._load(txn_ids)
+
+    def begin_open_loop(
+        self,
+        entries: Iterable[tuple[int, int, int]],
+        rng: Random | None = None,
+    ) -> None:
+        """Load an **open-loop** schedule: *entries* are
+        ``(txn_id, num_operations, arrival_tick)`` triples; each
+        transaction's operation entries mature at ``arrival + offset``
+        ticks of simulated time (one tick = one dispatched operation),
+        Poisson or otherwise — the caller owns the arrival process.
+
+        Entries land in the delayed heap directly, so loading is
+        O(n log n) regardless of schedule length (no interleaving pass),
+        and :meth:`pop` idles the clock across arrival gaps exactly as
+        it does for delayed retries.  Commit latency (``tick - arrival``)
+        is recorded per transaction via :meth:`note_commit`."""
+        self.begin((), rng=rng)
+        self._open_loop = True
+        arrivals = self._arrivals
+        total = 0
+        for txn_id, count, arrival in sorted(
+            entries, key=lambda entry: (entry[2], entry[0])
+        ):
+            arrivals[txn_id] = arrival
+            for offset in range(count):
+                self._seq += 1
+                heapq.heappush(
+                    self._delayed, (arrival + offset, self._seq, txn_id)
+                )
+            total += count
+        self.admitted = total
+
+    def note_commit(self, txn_id: int) -> None:
+        """Record a commit's simulated-time latency (open-loop runs
+        only; a no-op otherwise, so the service calls unconditionally)."""
+        if not self._open_loop:
+            return
+        arrival = self._arrivals.get(txn_id)
+        if arrival is not None:
+            self._latencies.append(self._tick - arrival)
+
+    @property
+    def latencies(self) -> list[int]:
+        """Commit latencies in ticks, in commit order (open-loop runs)."""
+        return self._latencies
 
     def _load(self, txn_ids: Sequence[int]) -> None:
         ids = list(txn_ids)
@@ -299,7 +349,7 @@ class AdmissionQueue:
 
     def snapshot(self) -> dict[str, int | str]:
         """Stage metrics for ``ExecutionReport`` consumers and bench v2."""
-        return {
+        snapshot: dict[str, int | str] = {
             "policy": self.retry_policy.name,
             "admitted": self.admitted,
             "retries": self.retries,
@@ -308,3 +358,19 @@ class AdmissionQueue:
             "batches": self.batches,
             "max_queue_depth": self.max_depth,
         }
+        if self._open_loop:
+            latencies = sorted(self._latencies)
+            snapshot["open_loop"] = 1
+            snapshot["completed"] = len(latencies)
+            snapshot["latency_p50"] = _percentile(latencies, 0.50)
+            snapshot["latency_p99"] = _percentile(latencies, 0.99)
+            snapshot["latency_max"] = latencies[-1] if latencies else 0
+        return snapshot
+
+
+def _percentile(sorted_values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile over pre-sorted simulated-time ticks."""
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-int(q * 1000) * len(sorted_values) // 1000))
+    return sorted_values[min(rank, len(sorted_values)) - 1]

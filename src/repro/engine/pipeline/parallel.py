@@ -1,0 +1,903 @@
+"""Parallel shard execution plane: per-shard schedulers in workers.
+
+The sharded pipeline (PR 4) simulates partitioned scheduling inside one
+process: a single :class:`~repro.core.distributed.DMTkScheduler` walks a
+logically shared timestamp table, paying simulated lock/fetch costs per
+cross-shard touch.  This module makes the partition *real*: every shard
+owns a private :class:`~repro.core.mtk.MTkScheduler` replica — with the
+same DMT(k) ingredients that keep the cross-shard order total
+(:class:`~repro.core.timestamp.SiteTaggedCounters` per shard, so k-th
+column elements are globally unique ``(counter, shard)`` pairs, and the
+distributed joining encoding that pulls a site's counter above/below
+whatever foreign element it must order against) — and shards run in
+persistent worker processes that communicate with the coordinator in
+*batched* messages, one per shard per admission window.
+
+Execution model (window-at-a-time; the service drives it):
+
+1. the coordinator drains an admission window and plans it with a
+   **row-conflict cut**: each operation ``op(i, x)`` claims the rows its
+   encodings may mutate — ``{i, RT(x), WT(x)}`` (Definition 6 encoding
+   writes into *both* vectors of a compared pair) — and the window is
+   cut the moment an entry claims a row another shard already claimed.
+   Within one window every row therefore has a **single writing shard**
+   (in particular a transaction's entries all land on one shard, since
+   each claims row ``i``), which is what makes the merge deterministic
+   and replica reconciliation trivial (the incoming snapshot always
+   supersedes);
+2. each shard's batch ships over a pipe as one compact message of
+   tuples/ints (no per-op objects), together with the replica rows the
+   shard is missing; workers decide the whole batch locally — priming
+   the vectorized decision core (repro.core.batch) with the full batch,
+   which finally amortizes at window sizes — and reply with
+   ``(seq, decision_code)`` pairs, dirty-row snapshots, and the
+   ``RT``/``WT`` updates for every item the batch touched;
+3. the coordinator merges replies **in admission (seq) order**, applies
+   storage effects centrally, routes rejects through the existing
+   :class:`~repro.engine.pipeline.admission.RetryPolicy` machinery, and
+   broadcasts ``restart``/``drop``/``commit``/``reset`` commands so all
+   replicas converge before the next window is planned.
+
+Message schema (all plain tuples, picklable, spawn-safe)::
+
+    coordinator -> worker:
+      ("run", commands, shard_batches)
+        commands      = (("restart", txn) | ("drop", txn)
+                         | ("commit", txn) | ("reset",), ...)
+        shard_batches = ((shard_id, rows, batch), ...)
+        rows          = ((txn, snapshot), ...)      # replica refresh
+        batch         = ((seq, txn, kind, item), ...)  # kind 0=R 1=W
+      ("stop",)
+    worker -> coordinator:
+      ("ok", ((shard_id, decisions, rows, index, stats), ...))
+        decisions = ((seq, code), ...)   # 0 accept / 1 ignore
+                                         # 2 reject / 3 skip
+        rows      = ((txn, snapshot), ...)   # dirtied this message
+        index     = ((item, rt, wt), ...)    # touched this message
+      ("err", worker_id, shard_ids, traceback_text)
+
+A worker applies one message in three strict passes — replica rows,
+then commands (so an undo triggered by a remote reject repoints against
+barrier-fresh rows), then batches — and both transports (the in-process
+reference and the multiprocessing one) drive the *same*
+:class:`_WorkerHost` code, so their decision streams are identical by
+construction; the conformance fuzzer's ``parallel-equivalence`` rule
+checks it anyway, on every case.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Iterable, Mapping, Sequence
+
+from ...core.distributed import _JoiningEncoding
+from ...core.mtk import MTkScheduler
+from ...core.table import VIRTUAL_TXN
+from ...core.timestamp import SiteTaggedCounters
+from ...model.operations import Operation, OpKind
+from .router import ShardRouter
+from .shard import Shard, ShardSpec
+
+#: Wire decision codes (one int per operation in a batch reply).
+CODE_ACCEPT = 0
+CODE_IGNORE = 1
+CODE_REJECT = 2
+#: The operation was skipped because an earlier operation of the same
+#: transaction was rejected in the same batch (the coordinator will
+#: replan it after the restart).
+CODE_SKIP = 3
+
+_KINDS = (OpKind.READ, OpKind.WRITE)
+
+#: Default admission-window width for windowed execution.  IPC
+#: amortization wants hundreds of operations per message; the
+#: window-size sweep in ``decision_core_bench`` maps the trade-off.
+DEFAULT_WINDOW = 256
+
+_POLL_INTERVAL = 0.25
+
+
+def default_start_method() -> str:
+    """``fork`` when the platform offers it (fast worker startup, the
+    engine config is tiny either way), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def plan_fanout(jobs: int, parallel: int | None, cpu: int | None = None) -> int:
+    """Clamp the bench process-pool width so pools never nest or
+    oversubscribe: at most ``os.cpu_count()`` total processes, and one
+    pool job when shard workers (``--parallel > 1``) are in play."""
+    if cpu is None:
+        cpu = os.cpu_count() or 1
+    jobs = max(1, min(int(jobs), cpu))
+    if parallel is not None and parallel > 1:
+        return 1
+    return jobs
+
+
+class ParallelExecutionError(RuntimeError):
+    """A shard worker crashed, timed out, or raised mid-batch."""
+
+    def __init__(
+        self, message: str, worker: int | None = None,
+        shards: Sequence[int] = (),
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.shards = tuple(shards)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class ShardEngine:
+    """One shard's scheduler replica.
+
+    The scheduler is a plain MT(k) over the shard's private table, made
+    cross-shard sound exactly the way DMT(k) sites are: its k-th vector
+    column comes from :class:`SiteTaggedCounters` tagged with the shard
+    id (elements are globally unique ``(counter, shard)`` pairs), and
+    the joining encoding pulls the local counter above/below any foreign
+    element it must order against (Section V-B).  Rows of transactions
+    and remote most-recent accessors are replicated in lazily via
+    :meth:`apply_rows`; everything the engine dirties is exported back
+    in :meth:`collect_reply`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        k: int,
+        read_rule: str,
+        decision_core: str,
+        anti_starvation: bool = False,
+    ) -> None:
+        self.shard_id = shard_id
+        self.scheduler = MTkScheduler(
+            k,
+            read_rule=read_rule,
+            counters=SiteTaggedCounters(shard_id),
+            encoding=_JoiningEncoding(),
+            decision_core=decision_core,
+            anti_starvation=anti_starvation,
+        )
+        self.primed = 0
+        self._exported: dict[int, int] = {}
+        self._dirty_rows: set[int] = set()
+        self._dirty_items: set[str] = set()
+        self._mark_virtual()
+
+    def _mark_virtual(self) -> None:
+        # The virtual T0 row is born identical in every replica; record
+        # its version so it is only exported if actually mutated.
+        table = self.scheduler.table
+        self._exported[VIRTUAL_TXN] = table.vector(VIRTUAL_TXN).version
+
+    def reset(self) -> None:
+        self.scheduler.reset()
+        self.primed = 0
+        self._exported.clear()
+        self._dirty_rows.clear()
+        self._dirty_items.clear()
+        self._mark_virtual()
+
+    # ------------------------------------------------------------------
+    def apply_rows(self, rows: Iterable[tuple[int, tuple]]) -> None:
+        """Refresh replica rows from coordinator snapshots.
+
+        Wholesale replace (flush, then set each defined element): the
+        single-writing-shard window invariant means an incoming snapshot
+        is always a superset of whatever this replica holds, and
+        elements are write-once per flush epoch, so merge is never
+        needed."""
+        table = self.scheduler.table
+        exported = self._exported
+        for txn, values in rows:
+            row = table.vector(txn)
+            row.flush()
+            for position, value in enumerate(values, start=1):
+                if value is not None:
+                    row.set(position, value)
+            exported[txn] = row.version
+
+    def apply_command(self, command: tuple) -> None:
+        kind = command[0]
+        if kind == "reset":
+            self.reset()
+            return
+        scheduler = self.scheduler
+        txn = command[1]
+        if kind == "commit":
+            scheduler.commit(txn)
+            return
+        # "restart" / "drop": the coordinator resolved a reject for txn.
+        if txn in scheduler.aborted:
+            # This engine issued the reject: its RT/WT undo already ran
+            # inside _abort; restart() flushes the row.  A dropped
+            # (failed) transaction never comes back, so clearing its
+            # aborted mark is harmless.
+            scheduler.restart(txn)
+        else:
+            # Remote reject: repoint this replica's RT/WT away from txn
+            # for the local items it touched, then flush the local row.
+            touched = scheduler._touched.get(txn)
+            if touched:
+                self._dirty_items.update(touched)
+            scheduler._undo_indices(txn)
+            scheduler.table.vector(txn).flush()
+        self._exported[txn] = scheduler.table.vector(txn).version
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, batch: Sequence[tuple[int, int, int, str]]
+    ) -> tuple[tuple[int, int], ...]:
+        """Decide one shard batch locally; returns ``(seq, code)`` pairs."""
+        scheduler = self.scheduler
+        table = scheduler.table
+        decisions: list[tuple[int, int]] = []
+        rejected: set[int] = set()
+        if scheduler.wants_priming and len(batch) > 1:
+            self.primed += scheduler.prime_batch(
+                [(txn, item) for _seq, txn, _kind, item in batch]
+            )
+        dirty_rows = self._dirty_rows
+        dirty_items = self._dirty_items
+        touched_map = scheduler._touched
+        for seq, txn, kind_code, item in batch:
+            if txn in rejected:
+                decisions.append((seq, CODE_SKIP))
+                continue
+            dirty_items.add(item)
+            rt = table.rt(item)
+            wt = table.wt(item)
+            prior_touched = touched_map.get(txn)
+            decision = scheduler.process(
+                Operation(_KINDS[kind_code], txn, item)
+            )
+            if decision.performed:
+                code = CODE_ACCEPT
+                # The op's encodings may have written into any of the
+                # pre-op pair {TS(i), TS(rt), TS(wt)} — export whichever
+                # actually changed.
+                dirty_rows.add(txn)
+                dirty_rows.add(rt)
+                dirty_rows.add(wt)
+            elif decision.accepted:
+                code = CODE_IGNORE
+            else:
+                code = CODE_REJECT
+                rejected.add(txn)
+                # _abort already repointed RT/WT for everything txn
+                # touched here; report those items' fresh indices.  The
+                # row itself is dirty too when anti-starvation re-seeded
+                # it (version-checked at export, so this is free
+                # otherwise).
+                dirty_rows.add(txn)
+                if prior_touched:
+                    dirty_items.update(prior_touched)
+            decisions.append((seq, code))
+        return tuple(decisions)
+
+    def collect_reply(
+        self,
+    ) -> tuple[tuple, tuple, tuple]:
+        """Drain dirty rows/items into a reply payload (sorted, so the
+        message bytes are deterministic)."""
+        table = self.scheduler.table
+        exported = self._exported
+        rows: list[tuple[int, tuple]] = []
+        for txn in sorted(self._dirty_rows):
+            row = table.vector(txn)
+            if row.version != exported.get(txn, 0):
+                rows.append((txn, row.snapshot()))
+                exported[txn] = row.version
+        index = tuple(
+            (item, table.rt(item), table.wt(item))
+            for item in sorted(self._dirty_items)
+        )
+        self._dirty_rows.clear()
+        self._dirty_items.clear()
+        stats = (table.element_visits, self.primed, table.decision_core)
+        return tuple(rows), index, stats
+
+
+class _WorkerHost:
+    """Hosts the shard engines assigned to one worker.
+
+    Both transports drive this exact class — the in-process reference
+    and the multiprocessing workers execute the same code on the same
+    message stream, which is what makes them bit-identical."""
+
+    def __init__(
+        self, shard_ids: Sequence[int], config: tuple[int, str, str, bool]
+    ) -> None:
+        k, read_rule, decision_core, anti_starvation = config
+        self.engines = {
+            shard_id: ShardEngine(
+                shard_id, k, read_rule, decision_core, anti_starvation
+            )
+            for shard_id in shard_ids
+        }
+
+    def handle(self, message: tuple) -> tuple:
+        if message[0] != "run":
+            raise ValueError(f"unknown message kind {message[0]!r}")
+        _kind, commands, shard_batches = message
+        engines = self.engines
+        # Pass 1: replica rows (before commands, so undo repoints
+        # triggered by restart/drop run against barrier-fresh rows).
+        for shard_id, rows, _batch in shard_batches:
+            if rows:
+                engines[shard_id].apply_rows(rows)
+        # Pass 2: global commands, every hosted engine.
+        if commands:
+            for engine in engines.values():
+                for command in commands:
+                    engine.apply_command(command)
+        # Pass 3: batches.
+        replies = []
+        for shard_id, _rows, batch in shard_batches:
+            engine = engines[shard_id]
+            decisions = engine.run_batch(batch) if batch else ()
+            rows_out, index, stats = engine.collect_reply()
+            replies.append((shard_id, decisions, rows_out, index, stats))
+        return tuple(replies)
+
+
+def _worker_main(
+    conn: Any, worker_id: int, shard_ids: tuple[int, ...], config: tuple
+) -> None:  # pragma: no cover - runs in the subprocess
+    """Worker process entry point (top-level, so spawn can pickle it)."""
+    try:
+        host = _WorkerHost(shard_ids, config)
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "stop":
+                break
+            try:
+                reply = host.handle(message)
+            except Exception:
+                conn.send(
+                    ("err", worker_id, shard_ids, traceback.format_exc())
+                )
+                break
+            conn.send(("ok", reply))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class _InlineTransport:
+    """``workers=0``: host every engine in-process.
+
+    This is the reference execution the ``parallel-equivalence`` fuzzer
+    rule compares worker runs against — same host code, no pipes."""
+
+    def __init__(
+        self, assignments: Mapping[int, tuple[int, ...]], config: tuple
+    ) -> None:
+        self._hosts = {
+            worker_id: _WorkerHost(shard_ids, config)
+            for worker_id, shard_ids in assignments.items()
+            if shard_ids
+        }
+        self._replies: dict[int, tuple] = {}
+
+    def request(self, worker_id: int, message: tuple) -> None:
+        self._replies[worker_id] = self._hosts[worker_id].handle(message)
+
+    def collect(self, worker_id: int) -> tuple:
+        return self._replies.pop(worker_id)
+
+    def close(self) -> None:
+        self._hosts.clear()
+        self._replies.clear()
+
+
+class _ProcessTransport:
+    """Persistent worker processes over ``multiprocessing.Pipe``."""
+
+    def __init__(
+        self,
+        assignments: Mapping[int, tuple[int, ...]],
+        config: tuple,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        method = start_method or default_start_method()
+        context = multiprocessing.get_context(method)
+        self.start_method = method
+        self.timeout = timeout
+        self._workers: dict[int, tuple[Any, Any, tuple[int, ...]]] = {}
+        for worker_id, shard_ids in assignments.items():
+            if not shard_ids:
+                continue
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child, worker_id, tuple(shard_ids), config),
+                daemon=True,
+                name=f"repro-shard-worker-{worker_id}",
+            )
+            process.start()
+            child.close()
+            self._workers[worker_id] = (process, parent, tuple(shard_ids))
+
+    # ------------------------------------------------------------------
+    def _crashed(self, worker_id: int, why: str) -> ParallelExecutionError:
+        _process, _conn, shard_ids = self._workers[worker_id]
+        return ParallelExecutionError(
+            f"shard worker {worker_id} serving shards"
+            f" {list(shard_ids)} {why}",
+            worker=worker_id,
+            shards=shard_ids,
+        )
+
+    def request(self, worker_id: int, message: tuple) -> None:
+        _process, conn, _shard_ids = self._workers[worker_id]
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._crashed(
+                worker_id, f"closed its pipe while receiving: {exc}"
+            ) from None
+
+    def collect(self, worker_id: int) -> tuple:
+        process, conn, shard_ids = self._workers[worker_id]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise self._crashed(
+                    worker_id, f"sent no reply within {self.timeout:.0f}s"
+                )
+            try:
+                if conn.poll(min(_POLL_INTERVAL, remaining)):
+                    reply = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise self._crashed(
+                    worker_id, "closed its pipe mid-reply"
+                ) from None
+            if not process.is_alive():
+                # Drain anything that made it into the pipe pre-crash.
+                try:
+                    if conn.poll(0):
+                        reply = conn.recv()
+                        break
+                except (EOFError, OSError):
+                    pass
+                raise self._crashed(
+                    worker_id, f"died (exitcode {process.exitcode})"
+                )
+        if reply[0] == "err":
+            _tag, _worker, _shards, detail = reply
+            raise ParallelExecutionError(
+                f"shard worker {worker_id} (shards {list(shard_ids)})"
+                f" raised:\n{detail}",
+                worker=worker_id,
+                shards=shard_ids,
+            )
+        return reply[1]
+
+    def close(self) -> None:
+        for _worker_id, (_process, conn, _sids) in self._workers.items():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for _worker_id, (process, conn, _sids) in self._workers.items():
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class ParallelShardSet:
+    """The coordinator: shard engines behind a windowed batch protocol.
+
+    ``workers=0`` hosts every engine in-process (the reference mode,
+    also what the fuzzer and the worker-count-invariance tests compare
+    against); ``workers>=1`` runs persistent worker processes, shard
+    ``s`` hosted by worker ``s % workers``.  Decision streams are
+    identical for every worker count because engines are independent
+    and both transports run the same host code.
+
+    The coordinator keeps three pieces of state between windows: a
+    **row store** (the latest exported snapshot of every row, versioned
+    so each shard only receives rows it lacks), per-shard **watermarks**
+    of what was already shipped, and the **item index** — the
+    authoritative ``item -> (RT, WT)`` map rebuilt from worker replies,
+    which window planning uses to compute conflict row-sets.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        workers: int = 0,
+        window: int = DEFAULT_WINDOW,
+        router: ShardRouter | None = None,
+        decision_core: str | None = None,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if spec.retain_locks or spec.sync_interval is not None:
+            raise ValueError(
+                "retain_locks / sync_interval are DMT(k) simulation "
+                "options; the parallel plane does not model them"
+            )
+        core = decision_core if decision_core is not None else "numpy"
+        if core not in ("python", "numpy"):
+            raise ValueError("decision_core must be 'python' or 'numpy'")
+        self.spec = spec
+        self.workers = int(workers)
+        self.window = int(window)
+        self.router = router or ShardRouter(spec.n_shards)
+        if self.router.n_shards != spec.n_shards:
+            raise ValueError("router and spec disagree on shard count")
+        self.decision_core = core
+        self.shards = [Shard(index) for index in range(spec.n_shards)]
+        self._config = (spec.k, spec.read_rule, core, spec.anti_starvation)
+        self._start_method = start_method
+        self._timeout = timeout
+        hosts = max(1, self.workers)
+        self._assignments = {
+            worker_id: tuple(
+                shard for shard in range(spec.n_shards)
+                if shard % hosts == worker_id
+            )
+            for worker_id in range(hosts)
+        }
+        self._worker_of = {
+            shard: shard % hosts for shard in range(spec.n_shards)
+        }
+        self._transport: Any | None = None
+        self._closed = False
+        self._pending_reset = False
+        self._ran_before = False
+        # txn -> (version, snapshot); shard -> txn -> shipped version.
+        self._store: dict[int, tuple[int, tuple]] = {}
+        self._have: dict[int, dict[int, int]] = {
+            shard: {} for shard in range(spec.n_shards)
+        }
+        self._item_index: dict[str, tuple[int, int]] = {}
+        self._engine_stats: dict[int, tuple] = {}
+        self.ipc = self._fresh_ipc()
+
+    @staticmethod
+    def _fresh_ipc() -> dict[str, int]:
+        return {
+            "windows": 0,
+            "messages": 0,
+            "entries_shipped": 0,
+            "rows_shipped": 0,
+            "sync_rounds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset coordinator state for a fresh run; engines are reset by
+        a ``("reset",)`` command riding the next window message."""
+        if self._closed:
+            raise RuntimeError("parallel plane is closed")
+        if self._transport is None:
+            if self.workers == 0:
+                self._transport = _InlineTransport(
+                    self._assignments, self._config
+                )
+            else:
+                self._transport = _ProcessTransport(
+                    self._assignments,
+                    self._config,
+                    start_method=self._start_method,
+                    timeout=self._timeout,
+                )
+        self._pending_reset = self._ran_before
+        self._ran_before = True
+        self._store.clear()
+        for have in self._have.values():
+            have.clear()
+        self._item_index.clear()
+        self._engine_stats.clear()
+        for shard in self.shards:
+            shard.clear()
+        self.ipc = self._fresh_ipc()
+
+    def close(self) -> None:
+        transport = self._transport
+        self._transport = None
+        self._closed = True
+        if transport is not None:
+            transport.close()
+
+    def __enter__(self) -> "ParallelShardSet":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Planning surface
+    # ------------------------------------------------------------------
+    def item_index(self, item: str) -> tuple[int, int]:
+        """The authoritative ``(RT, WT)`` for *item* as of the last
+        reply (fresh items default to the virtual T0)."""
+        return self._item_index.get(item, (VIRTUAL_TXN, VIRTUAL_TXN))
+
+    def note_drop(self, txn: int) -> None:
+        """Invalidate a restarted/dropped transaction's stored row *now*
+        (before the command is delivered): every replica flushes it on
+        command application, and a replica that never saw the row treats
+        it as fresh-undefined — the same state — so the snapshot must
+        never be shipped again.
+
+        With anti-starvation the post-abort row is *not* fresh — the
+        rejecting engine re-seeded it past the blocker and exported that
+        snapshot with the rejecting window's reply — so the store entry
+        is kept and only the shipped watermarks are dropped: every
+        replica (the rejector included, harmlessly) re-receives the
+        seeded row the next time the transaction appears in its batch."""
+        if not self.spec.anti_starvation:
+            self._store.pop(txn, None)
+        for have in self._have.values():
+            have.pop(txn, None)
+
+    def note_reset(self) -> None:
+        """Invalidate everything ahead of a queued ``("reset",)`` so the
+        next window is planned against the post-reset world."""
+        self._store.clear()
+        for have in self._have.values():
+            have.clear()
+        self._item_index.clear()
+
+    # ------------------------------------------------------------------
+    # The windowed protocol
+    # ------------------------------------------------------------------
+    def run_window(
+        self,
+        batches: Mapping[int, Sequence[tuple[int, int, int, str]]],
+        commands: Sequence[tuple] = (),
+    ) -> dict[int, int]:
+        """Ship one planned window (plus pending commands) and merge
+        the replies; returns ``{seq: decision_code}``.
+
+        With an empty *batches* this is a **sync round**: commands-only,
+        used after any window that produced rejects so every replica's
+        ``RT``/``WT`` repoints land before the next window is planned.
+        """
+        if self._transport is None:
+            raise RuntimeError("call begin_run() before run_window()")
+        commands = tuple(commands)
+        if self._pending_reset:
+            commands = (("reset",),) + commands
+            self._pending_reset = False
+        # Coordinator-side effects of commands, before computing row
+        # shipments (a restarted row must not be shipped from a stale
+        # snapshot; note_drop/note_reset are idempotent when the service
+        # already applied them eagerly).
+        for command in commands:
+            kind = command[0]
+            if kind == "reset":
+                self.note_reset()
+            elif kind in ("restart", "drop"):
+                self.note_drop(command[1])
+        involved: set[int] = {
+            shard for shard, batch in batches.items() if batch
+        }
+        if commands:
+            involved.update(range(self.spec.n_shards))
+        if not involved:
+            return {}
+        per_worker: dict[int, list[tuple]] = {}
+        entries_shipped = 0
+        rows_shipped = 0
+        for shard_id in sorted(involved):
+            batch = tuple(batches.get(shard_id, ()))
+            rows = self._rows_for(shard_id, batch)
+            entries_shipped += len(batch)
+            rows_shipped += len(rows)
+            per_worker.setdefault(self._worker_of[shard_id], []).append(
+                (shard_id, rows, batch)
+            )
+        transport = self._transport
+        try:
+            for worker_id in sorted(per_worker):
+                transport.request(
+                    worker_id,
+                    ("run", commands, tuple(per_worker[worker_id])),
+                )
+            replies: dict[int, tuple] = {}
+            for worker_id in sorted(per_worker):
+                replies[worker_id] = transport.collect(worker_id)
+        except ParallelExecutionError:
+            # The transport is in an unknown state; tear it down so the
+            # failure is clean (no dangling processes, no hung pipes).
+            self.close()
+            raise
+        decisions: dict[int, int] = {}
+        store = self._store
+        for worker_id in sorted(replies):
+            for shard_id, shard_decisions, rows, index, stats in replies[
+                worker_id
+            ]:
+                for seq, code in shard_decisions:
+                    decisions[seq] = code
+                have = self._have[shard_id]
+                for txn, values in rows:
+                    entry = store.get(txn)
+                    version = (entry[0] + 1) if entry is not None else 1
+                    store[txn] = (version, values)
+                    have[txn] = version
+                for item, rt, wt in index:
+                    self._item_index[item] = (rt, wt)
+                self._engine_stats[shard_id] = stats
+        ipc = self.ipc
+        if entries_shipped:
+            ipc["windows"] += 1
+        else:
+            ipc["sync_rounds"] += 1
+        ipc["messages"] += len(per_worker)
+        ipc["entries_shipped"] += entries_shipped
+        ipc["rows_shipped"] += rows_shipped
+        return decisions
+
+    def _rows_for(
+        self, shard_id: int, batch: Sequence[tuple[int, int, int, str]]
+    ) -> tuple:
+        """Replica rows *shard_id* is missing for *batch*: the conflict
+        row-set of every entry, minus what was already shipped at the
+        stored version."""
+        if not batch:
+            return ()
+        need: set[int] = set()
+        index = self._item_index
+        for _seq, txn, _kind, item in batch:
+            rt, wt = index.get(item, (VIRTUAL_TXN, VIRTUAL_TXN))
+            need.add(txn)
+            need.add(rt)
+            need.add(wt)
+        store = self._store
+        have = self._have[shard_id]
+        rows: list[tuple[int, tuple]] = []
+        for txn in sorted(need):
+            entry = store.get(txn)
+            if entry is None:
+                continue
+            version, values = entry
+            if have.get(txn) != version:
+                rows.append((txn, values))
+                have[txn] = version
+        return tuple(rows)
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting (coordinator-side, merge order)
+    # ------------------------------------------------------------------
+    def record(self, shard_id: int, op: Operation, code: int) -> None:
+        shard = self.shards[shard_id]
+        shard.ops += 1
+        if op.kind.is_read:
+            shard.reads += 1
+        else:
+            shard.writes += 1
+        if code == CODE_ACCEPT:
+            shard.accepted += 1
+        elif code == CODE_REJECT:
+            shard.rejected += 1
+        else:
+            shard.ignored += 1
+        shard.items.add(op.item)
+
+    def record_commit(self, txn_id: int) -> None:
+        self.shards[self.router.shard_of_txn(txn_id)].commits_homed += 1
+
+    # ------------------------------------------------------------------
+    # Introspection (bench v2 stages block)
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.spec.n_shards
+
+    def occupancy(self) -> list[float]:
+        total = sum(shard.ops for shard in self.shards)
+        if total == 0:
+            return [0.0] * len(self.shards)
+        return [shard.ops / total for shard in self.shards]
+
+    def worker_occupancy(self) -> list[float]:
+        """Each worker host's share of the scheduled operations."""
+        hosts = max(1, self.workers)
+        counts = [0] * hosts
+        for shard in self.shards:
+            counts[self._worker_of[shard.shard_id]] += shard.ops
+        total = sum(counts)
+        if total == 0:
+            return [0.0] * hosts
+        return [count / total for count in counts]
+
+    @property
+    def element_visits(self) -> int:
+        return sum(stats[0] for stats in self._engine_stats.values())
+
+    @property
+    def primed(self) -> int:
+        return sum(stats[1] for stats in self._engine_stats.values())
+
+    def decision_cores(self) -> dict[int, str]:
+        """The decision core each engine actually resolved (``numpy``
+        silently degrades to ``python`` where numpy is absent — this is
+        how workers report which one they run)."""
+        return {
+            shard: stats[2]
+            for shard, stats in sorted(self._engine_stats.items())
+        }
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return [shard.snapshot() for shard in self.shards]
+
+    def stage_snapshot(self) -> dict[str, Any]:
+        cores = self.decision_cores()
+        return {
+            "workers": self.workers,
+            "window": self.window,
+            "start_method": (
+                getattr(self._transport, "start_method", None)
+                if self.workers
+                else "inline"
+            ),
+            # str keys: the snapshot lands in JSON bench payloads, and a
+            # round-trip must be identity (json stringifies int keys).
+            "assignments": {
+                str(worker_id): list(shards)
+                for worker_id, shards in self._assignments.items()
+                if shards
+            },
+            "ipc": dict(self.ipc),
+            "worker_occupancy": [
+                round(share, 4) for share in self.worker_occupancy()
+            ],
+            "decision_cores": {
+                str(shard): core for shard, core in cores.items()
+            },
+            "element_visits": self.element_visits,
+            "primed": self.primed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ParallelShardSet n={self.spec.n_shards} "
+            f"workers={self.workers} window={self.window}>"
+        )

@@ -40,7 +40,7 @@ fully determines the ``ExecutionReport`` (see the determinism tests).
 from __future__ import annotations
 
 from random import Random
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from ...core.protocol import Decision, DecisionStatus, Scheduler
 from ...model.generator import interleave
@@ -50,6 +50,13 @@ from ...obs.instrument import Instrumented
 from ...storage.database import Database
 from ...storage.wal import UndoLog
 from .admission import AdmissionQueue, RetryPolicy, resolve_policy
+from .parallel import (
+    CODE_IGNORE,
+    CODE_REJECT,
+    CODE_SKIP,
+    DEFAULT_WINDOW,
+    ParallelShardSet,
+)
 from .report import ExecutionReport
 from .shard import ShardSet
 
@@ -92,6 +99,9 @@ class PipelineExecutor(Instrumented):
         batch_size: int | None = None,
         shuffle_batches: bool = False,
         shards: ShardSet | None = None,
+        parallel: int | ParallelShardSet | None = None,
+        window: int | None = None,
+        prime_window: int | None = None,
     ) -> None:
         if write_policy not in ("immediate", "deferred"):
             raise ValueError("write_policy must be 'immediate' or 'deferred'")
@@ -99,6 +109,8 @@ class PipelineExecutor(Instrumented):
             raise ValueError("rollback must be 'full' or 'partial'")
         if shards is not None and shards.scheduler is not scheduler:
             raise ValueError("shards.scheduler must be the pipeline scheduler")
+        if prime_window is not None and prime_window < 1:
+            raise ValueError("prime_window must be positive")
         self.scheduler = scheduler
         self.database = database if database is not None else Database()
         self.max_attempts = max_attempts
@@ -116,6 +128,44 @@ class PipelineExecutor(Instrumented):
         # per operation / per abort.
         self._deferred = write_policy == "deferred"
         self._partial = rollback == "partial"
+        #: Speculative priming window for the sequential lanes
+        #: (instance-tunable; class attribute is the default).
+        self.prime_window = (
+            int(prime_window) if prime_window is not None else self.PRIME_WINDOW
+        )
+        self.parallel_plane: ParallelShardSet | None = None
+        self._parallel_owned = False
+        self._window = 0
+        if parallel is not None:
+            if self._deferred:
+                raise ValueError(
+                    "parallel execution requires write_policy='immediate'"
+                )
+            if self._partial:
+                raise ValueError("parallel execution requires rollback='full'")
+            if shards is None:
+                raise ValueError(
+                    "parallel execution requires a ShardSet (its spec "
+                    "configures the per-shard engines)"
+                )
+            if isinstance(parallel, ParallelShardSet):
+                plane = parallel
+                if plane.spec.n_shards != shards.spec.n_shards:
+                    raise ValueError(
+                        "parallel plane and shard set disagree on shard count"
+                    )
+            else:
+                plane = ParallelShardSet(
+                    shards.spec,
+                    workers=int(parallel),
+                    window=window if window is not None else DEFAULT_WINDOW,
+                    router=shards.router,
+                )
+                self._parallel_owned = True
+            self.parallel_plane = plane
+            self._window = int(window) if window is not None else plane.window
+            if self._window < 1:
+                raise ValueError("window must be positive")
         self.init_observability(
             "executor",
             counters=(
@@ -148,11 +198,22 @@ class PipelineExecutor(Instrumented):
         transactions: Sequence[Transaction],
         schedule: Log | None = None,
         seed: int = 0,
+        arrivals: Mapping[int, int] | None = None,
     ) -> ExecutionReport:
         """Run *transactions* along *schedule* (or a seeded random
-        interleaving), retrying aborted transactions per the policy."""
+        interleaving), retrying aborted transactions per the policy.
+
+        *arrivals* switches the admission stage to open-loop mode: a
+        ``{txn_id: arrival_tick}`` map (simulated time) replaces the
+        interleaved schedule — each transaction's operation entries
+        mature at ``arrival + offset`` ticks and commit latency is
+        tracked per transaction (see ``AdmissionQueue.snapshot()``).
+        """
         rng = Random(seed)
-        if schedule is None:
+        if arrivals is not None:
+            if schedule is not None:
+                raise ValueError("arrivals and schedule are mutually exclusive")
+        elif schedule is None:
             schedule = interleave(transactions, rng)
         self.reset_observability()
         self.scheduler.reset()
@@ -176,9 +237,20 @@ class PipelineExecutor(Instrumented):
         )
 
         admission = self._admission
-        admission.begin([op.txn for op in schedule], rng=rng)
+        if arrivals is not None:
+            admission.begin_open_loop(
+                [
+                    (t.txn_id, t.num_operations, arrivals[t.txn_id])
+                    for t in transactions
+                ],
+                rng=rng,
+            )
+        else:
+            admission.begin([op.txn for op in schedule], rng=rng)
         with self.metrics.timer("execute"):
-            if admission.is_plain:
+            if self.parallel_plane is not None:
+                self._run_windowed(admission, states, undo, report)
+            elif admission.is_plain:
                 self._run_plain(admission, states, undo, report)
             else:
                 self._run_staged(admission, states, undo, report)
@@ -207,7 +279,7 @@ class PipelineExecutor(Instrumented):
         pointer = 0
         while pointer < len(queue):
             if prime is not None and pointer >= next_prime:
-                window = queue[pointer : pointer + self.PRIME_WINDOW]
+                window = queue[pointer : pointer + self.prime_window]
                 prime(self._window_requests(window, states, committed, failed))
                 next_prime = pointer + max(1, len(window))
             txn_id = queue[pointer]
@@ -250,7 +322,7 @@ class PipelineExecutor(Instrumented):
                     # already released — pending batches and immature
                     # delayed retries are not speculated about.
                     window = [txn_id] + admission.peek_window(
-                        self.PRIME_WINDOW - 1
+                        self.prime_window - 1
                     )
                     prime(
                         self._window_requests(window, states, committed, failed)
@@ -266,6 +338,235 @@ class PipelineExecutor(Instrumented):
             finished = self._step(state, op, undo, report, admission)
             if finished:
                 self._try_commit(state, undo, report, admission)
+
+    # ------------------------------------------------------------------
+    # Windowed lane: the parallel shard execution plane
+    # ------------------------------------------------------------------
+    def _run_windowed(
+        self,
+        admission: AdmissionQueue,
+        states: dict[int, _TxnState],
+        undo: UndoLog,
+        report: ExecutionReport,
+    ) -> None:
+        """Window-at-a-time execution over the parallel plane.
+
+        Planning claims each entry's conflict row-set ``{txn, RT(item),
+        WT(item)}`` for the item's shard and cuts the window when an
+        entry needs a row another shard already claimed (the cut entry
+        carries over to open the next window).  Shard batches are
+        decided remotely; this merge applies storage/undo/retry effects
+        centrally, strictly in admission order, and queues the commands
+        that keep every replica convergent."""
+        plane = self.parallel_plane
+        assert plane is not None
+        plane.begin_run()
+        router = plane.router
+        window_size = self._window
+        committed = report.committed
+        failed = report.failed
+        pending: list[tuple] = []  # commands riding the next message
+        carried: int | None = None  # entry cut by a cross-shard conflict
+        while True:
+            # ---- plan one window --------------------------------------
+            entries: list[tuple[int, int, Operation, int]] = []
+            row_owner: dict[int, int] = {}
+            planned: dict[int, int] = {}
+            while len(entries) < window_size:
+                if carried is not None:
+                    txn_id, carried = carried, None
+                else:
+                    txn_id = admission.pop()
+                    if txn_id is None:
+                        break
+                if txn_id in failed or txn_id in committed:
+                    continue
+                state = states[txn_id]
+                position = planned.get(txn_id, state.position)
+                if position >= state.txn.num_operations:
+                    continue
+                op = state.txn.operations[position]
+                shard = router.shard_of_item(op.item)
+                rt, wt = plane.item_index(op.item)
+                if (
+                    row_owner.get(txn_id, shard) != shard
+                    or row_owner.get(rt, shard) != shard
+                    or row_owner.get(wt, shard) != shard
+                ):
+                    carried = txn_id
+                    break
+                row_owner[txn_id] = shard
+                row_owner[rt] = shard
+                row_owner[wt] = shard
+                planned[txn_id] = position + 1
+                entries.append((len(entries), txn_id, op, shard))
+            if not entries:
+                # Run over; trailing commands (commits after the last
+                # window) need no delivery — begin_run() resets engines.
+                break
+            # ---- ship -------------------------------------------------
+            batches: dict[int, list[tuple[int, int, int, str]]] = {}
+            for seq, txn_id, op, shard in entries:
+                batches.setdefault(shard, []).append(
+                    (seq, txn_id, 0 if op.kind.is_read else 1, op.item)
+                )
+            decisions = plane.run_window(batches, tuple(pending))
+            pending.clear()
+            # ---- merge, in admission order ----------------------------
+            repoints = False
+            rejected_now: set[int] = set()
+            epoch_reset = False
+            for seq, txn_id, op, shard in entries:
+                if epoch_reset:
+                    # Entries past a global restart were decided against
+                    # a dead epoch; readmit them in order (the sequential
+                    # lane's equivalent entries survive in its queue).
+                    if txn_id not in committed and txn_id not in failed:
+                        admission.extend([txn_id])
+                    continue
+                code = decisions[seq]
+                if code == CODE_SKIP or txn_id in rejected_now:
+                    continue
+                if txn_id in failed:
+                    continue
+                state = states[txn_id]
+                if code == CODE_REJECT:
+                    self._c_aborts.inc()
+                    plane.record(shard, op, code)
+                    if self._retry_policy.global_restart:
+                        self._windowed_global_restart(
+                            admission, undo, report, pending
+                        )
+                        epoch_reset = True
+                        continue
+                    rejected_now.add(txn_id)
+                    repoints = True
+                    self._windowed_abort(
+                        state, undo, report, admission, pending
+                    )
+                    continue
+                plane.record(shard, op, code)
+                if code == CODE_IGNORE:
+                    report.ignored_writes += 1
+                    self._c_ignored_writes.inc()
+                else:
+                    self._perform(op, undo, report)
+                    state.executed_this_attempt += 1
+                state.position += 1
+                if state.position >= state.txn.num_operations:
+                    self._windowed_commit(state, undo, report, pending)
+            if repoints:
+                # Sync round: rejects repointed RT/WT at the rejecting
+                # engines; deliver the restart/drop commands now so every
+                # replica repoints (and reports the restored indices)
+                # before the next window is planned against item_index.
+                plane.run_window({}, tuple(pending))
+                pending.clear()
+
+    def _windowed_abort(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        admission: AdmissionQueue,
+        pending: list[tuple],
+    ) -> None:
+        """Full-rollback abort for the windowed lane (the only rollback
+        mode the plane supports); mirrors ``_handle_abort``."""
+        txn_id = state.txn.txn_id
+        undone = undo.rollback(txn_id)
+        report.undo_count += undone
+        self._c_undo_ops.inc(undone)
+        report.ops_reexecuted += state.executed_this_attempt
+        self._c_ops_reexecuted.inc(state.executed_this_attempt)
+        self._drop_executed_ops(txn_id, state, report)
+        state.buffered_writes.clear()
+        state.position = 0
+        state.executed_this_attempt = 0
+        plane = self.parallel_plane
+        assert plane is not None
+        plane.note_drop(txn_id)
+        if state.attempt >= self.max_attempts:
+            report.failed.add(txn_id)
+            self.metrics.inc("failures")
+            if self.events.enabled:
+                self.events.emit("fail", txn=txn_id, attempts=state.attempt)
+            pending.append(("drop", txn_id))
+            return
+        state.attempt += 1
+        report.restarts += 1
+        self._c_restarts.inc()
+        if self.events.enabled:
+            self.events.emit("restart", txn=txn_id, partial=False)
+        pending.append(("restart", txn_id))
+        admission.requeue(txn_id, state.txn.num_operations, state.attempt)
+
+    def _windowed_commit(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        pending: list[tuple],
+    ) -> None:
+        txn_id = state.txn.txn_id
+        undo.commit(txn_id)
+        report.committed.add(txn_id)
+        self.metrics.inc("commits")
+        plane = self.parallel_plane
+        assert plane is not None
+        plane.record_commit(txn_id)
+        self._admission.note_commit(txn_id)
+        if self.events.enabled:
+            self.events.emit("commit", txn=txn_id, attempt=state.attempt)
+        pending.append(("commit", txn_id))
+
+    def _windowed_global_restart(
+        self,
+        admission: AdmissionQueue,
+        undo: UndoLog,
+        report: ExecutionReport,
+        pending: list[tuple],
+    ) -> None:
+        """Algorithm 2 step 4 i) epoch reset over the plane: queue a
+        ``("reset",)`` broadcast, invalidate coordinator state now (the
+        next window is planned against the post-reset world), and roll
+        back every active transaction per ``_global_restart``."""
+        plane = self.parallel_plane
+        assert plane is not None
+        self.metrics.inc("global_restarts")
+        if self.events.enabled:
+            self.events.emit("global_restart")
+        pending.append(("reset",))
+        plane.note_reset()
+        for state in self._states.values():
+            txn_id = state.txn.txn_id
+            if txn_id in report.committed or txn_id in report.failed:
+                continue
+            if state.position == 0 and state.executed_this_attempt == 0:
+                continue  # had not started; nothing to roll back
+            undone = undo.rollback(txn_id)
+            report.undo_count += undone
+            self._c_undo_ops.inc(undone)
+            report.ops_reexecuted += state.executed_this_attempt
+            self._c_ops_reexecuted.inc(state.executed_this_attempt)
+            self._drop_executed_ops(txn_id, state, report)
+            state.buffered_writes.clear()
+            state.position = 0
+            state.executed_this_attempt = 0
+            if state.attempt >= self.max_attempts:
+                report.failed.add(txn_id)
+                self.metrics.inc("failures")
+                if self.events.enabled:
+                    self.events.emit(
+                        "fail", txn=txn_id, attempts=state.attempt
+                    )
+                continue
+            state.attempt += 1
+            report.restarts += 1
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=False)
+            self._requeue_retry(state, admission)
 
     def _window_requests(
         self,
@@ -387,6 +688,7 @@ class PipelineExecutor(Instrumented):
         undo.commit(txn_id)
         report.committed.add(txn_id)
         self.metrics.inc("commits")
+        self._admission.note_commit(txn_id)
         if shards is not None:
             shards.record_commit(txn_id)
         if self.events.enabled:
@@ -533,9 +835,25 @@ class PipelineExecutor(Instrumented):
         """Per-stage metrics of the most recent run: the admission
         queue's counters and, when sharded, per-shard occupancy."""
         snapshot: dict[str, Any] = {"admission": self._admission.snapshot()}
-        if self._shards is not None:
+        plane = self.parallel_plane
+        if plane is not None:
+            # Windowed lane: occupancy is accounted on the plane (the
+            # attached ShardSet's scheduler never runs).
+            snapshot["shards"] = plane.snapshot()
+            snapshot["shard_occupancy"] = [
+                round(share, 4) for share in plane.occupancy()
+            ]
+            snapshot["parallel"] = plane.stage_snapshot()
+        elif self._shards is not None:
             snapshot["shards"] = self._shards.snapshot()
             snapshot["shard_occupancy"] = [
                 round(share, 4) for share in self._shards.occupancy()
             ]
         return snapshot
+
+    def close(self) -> None:
+        """Release the parallel plane's worker processes (owned planes
+        only; a plane passed in by the caller stays the caller's)."""
+        plane = self.parallel_plane
+        if plane is not None and self._parallel_owned:
+            plane.close()

@@ -136,6 +136,11 @@ class TransactionService:
         queue_capacity: int | None = None,
         batch_size: int | None = None,
         shuffle_batches: bool = False,
+        decision_core: str = "python",
+        anti_starvation: bool = False,
+        parallel: int | Any | None = None,
+        window: int | None = None,
+        prime_window: int | None = None,
     ) -> None:
         spec = ShardSpec(
             n_shards=n_shards,
@@ -143,6 +148,8 @@ class TransactionService:
             read_rule=read_rule,
             retain_locks=retain_locks,
             sync_interval=sync_interval,
+            decision_core=decision_core,
+            anti_starvation=anti_starvation,
         )
         self.shards = ShardSet(spec, router=router)
         self.executor = PipelineExecutor(
@@ -156,6 +163,9 @@ class TransactionService:
             batch_size=batch_size,
             shuffle_batches=shuffle_batches,
             shards=self.shards,
+            parallel=parallel,
+            window=window,
+            prime_window=prime_window,
         )
         self._next_txn = 1
         self._programs: dict[int, Transaction] = {}
@@ -205,21 +215,38 @@ class TransactionService:
 
     # ------------------------------------------------------------------
     def run(
-        self, schedule: Log | None = None, seed: int = 0
+        self,
+        schedule: Log | None = None,
+        seed: int = 0,
+        arrivals: dict[int, int] | None = None,
     ) -> ExecutionReport:
         """Execute every submitted program through the pipeline.
 
         With no explicit *schedule*, programs are interleaved
-        deterministically from *seed*.  The submitted set is consumed;
-        sessions opened afterwards feed the next run.
+        deterministically from *seed*; *arrivals* (a ``{txn_id:
+        arrival_tick}`` map) switches the admission stage to open-loop
+        mode instead.  The submitted set is consumed; sessions opened
+        afterwards feed the next run.
         """
         transactions = tuple(self._programs.values())
         if not transactions:
             raise SessionError("nothing to run; no programs were submitted")
         self._programs.clear()
-        report = self.executor.execute(transactions, schedule=schedule, seed=seed)
+        report = self.executor.execute(
+            transactions, schedule=schedule, seed=seed, arrivals=arrivals
+        )
         self.last_report = report
         return report
+
+    def close(self) -> None:
+        """Release executor resources (parallel worker processes)."""
+        self.executor.close()
+
+    def __enter__(self) -> "TransactionService":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
 
     def reset(self) -> None:
         """Drop submitted-but-unrun programs and the last report."""

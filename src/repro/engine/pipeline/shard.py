@@ -46,6 +46,10 @@ class ShardSpec:
     #: batch core (decisions bit-identical; pure-Python when numpy is
     #: absent) — see repro.core.batch.
     decision_core: str = "python"
+    #: Section III-D-4 starvation remedy: re-seed an aborted vector past
+    #: its blocker so deterministic reject loops cannot recur.  Open-loop
+    #: hot-key workloads (the Zipf scenarios) need this to converge.
+    anti_starvation: bool = False
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -126,6 +130,7 @@ class ShardSet:
                 self.spec.k,
                 read_rule=self.spec.read_rule,
                 decision_core=self.spec.decision_core,
+                anti_starvation=self.spec.anti_starvation,
             )
         from ...core.distributed import DMTkScheduler
 
@@ -138,6 +143,7 @@ class ShardSet:
             retain_locks=self.spec.retain_locks,
             sync_interval=self.spec.sync_interval,
             decision_core=self.spec.decision_core,
+            anti_starvation=self.spec.anti_starvation,
         )
 
     # ------------------------------------------------------------------

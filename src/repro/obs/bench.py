@@ -93,8 +93,24 @@ class Scenario:
     #: The executor's witness is single-version DSR; multiversion
     #: schedulers guarantee MV-serializability instead, so they opt out.
     check_serializable: bool = True
-    #: Extra PipelineExecutor arguments (admission/retry configuration).
+    #: Extra PipelineExecutor arguments (admission/retry configuration;
+    #: ``parallel``/``window`` here run the scenario through the windowed
+    #: parallel plane).
     executor_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: When set, the workload is a Zipf open-loop stream instead of a
+    #: seed-interleaved batch: the mapping holds
+    #: :class:`~repro.workloads.zipf.ZipfSpec` kwargs, and the executor
+    #: runs with Poisson ``arrivals`` (latency percentiles land in the
+    #: admission stage snapshot).
+    open_loop: Mapping[str, Any] | None = None
+    #: Smaller spec overrides used under ``--quick`` (the 10^5-txn
+    #: open-loop scenarios shrink to CI-smoke size with these).
+    quick_spec_kwargs: Mapping[str, Any] | None = None
+    #: Timed executions per cell; ``None`` uses :data:`TIMED_REPEATS`.
+    #: The heavyweight open-loop scenarios run once, unwarmed — a 10^5
+    #: transaction stream amortizes its own warm-up.
+    timed_repeats: int | None = None
+    warmup: bool = True
 
 
 def _default_scenarios() -> dict[str, Scenario]:
@@ -211,6 +227,77 @@ def _default_scenarios() -> dict[str, Scenario]:
             ),
         ),
     ]
+    # ------------------------------------------------------------------
+    # Zipf open-loop scaling family: 10^5 transactions (quick: 2*10^3),
+    # skew 1.1, Poisson arrivals at 0.3 ops/tick, anti-starvation on
+    # (open-loop hot keys livelock without the III-D-4 remedy).  One
+    # sequential reference plus the windowed plane at 0 (inline) and
+    # 1/2/4 worker processes — the ops/s-vs-workers curve.  The 10^5
+    # committed logs are too large for the per-run DSR witness; the
+    # conformance fuzzer's parallel-equivalence rule covers correctness
+    # at checkable sizes.
+    zipf_full = dict(num_txns=100_000)
+    zipf_quick = dict(num_txns=2_000)
+
+    def _zipf_scenario(
+        name: str, description: str, n_shards: int, **executor_kwargs: Any
+    ) -> Scenario:
+        return Scenario(
+            name,
+            description,
+            lambda n=n_shards: ShardSet(
+                ShardSpec(
+                    n_shards=n, k=3, decision_core="numpy",
+                    anti_starvation=True,
+                )
+            ),
+            zipf_full,
+            open_loop=zipf_full,
+            quick_spec_kwargs=zipf_quick,
+            max_attempts=10,
+            quick_seeds=1,
+            full_seeds=1,
+            check_serializable=False,
+            timed_repeats=1,
+            warmup=False,
+            executor_kwargs=executor_kwargs,
+        )
+
+    scenarios += [
+        _zipf_scenario(
+            "zipf_open_mt3",
+            "Zipf(1.1) open-loop stream, sequential staged reference",
+            1,
+        ),
+        _zipf_scenario(
+            "zipf_shard4_inline",
+            "Zipf(1.1) open-loop, windowed plane in-process (4 shards)",
+            4,
+            parallel=0,
+            window=32,
+        ),
+        _zipf_scenario(
+            "zipf_shard4_p1",
+            "Zipf(1.1) open-loop, 4 shards on 1 worker process",
+            4,
+            parallel=1,
+            window=32,
+        ),
+        _zipf_scenario(
+            "zipf_shard4_p2",
+            "Zipf(1.1) open-loop, 4 shards on 2 worker processes",
+            4,
+            parallel=2,
+            window=32,
+        ),
+        _zipf_scenario(
+            "zipf_shard4_p4",
+            "Zipf(1.1) open-loop, 4 shards on 4 worker processes",
+            4,
+            parallel=4,
+            window=32,
+        ),
+    ]
     return {scenario.name: scenario for scenario in scenarios}
 
 
@@ -257,6 +344,8 @@ def run_seed(
     seed: int,
     profile: bool = False,
     decision_core: str = "python",
+    quick: bool = False,
+    overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Execute one ``(scenario, seed)`` cell of a *registered* scenario.
 
@@ -265,7 +354,12 @@ def run_seed(
     through *seed*), and independent of every other cell.
     """
     return _run_seed_for(
-        scenarios()[name], seed, profile=profile, decision_core=decision_core
+        scenarios()[name],
+        seed,
+        profile=profile,
+        decision_core=decision_core,
+        quick=quick,
+        overrides=overrides,
     )
 
 
@@ -280,6 +374,8 @@ def _run_seed_for(
     seed: int,
     profile: bool = False,
     decision_core: str = "python",
+    quick: bool = False,
+    overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One scenario × seed execution; returns the per-seed counters.
 
@@ -290,22 +386,47 @@ def _run_seed_for(
     switch (TO, 2PL, optimistic, interval) run unchanged — decisions are
     identical either way, so results stay comparable across cores.
 
+    ``quick`` swaps in the scenario's ``quick_spec_kwargs`` (the
+    open-loop scenarios shrink their streams for CI smoke).  *overrides*
+    replaces ``parallel``/``window`` executor arguments, but only on
+    scenarios that already run the windowed plane — the sequential
+    scenarios are the plane's reference semantics and must not be
+    silently rerouted.
+
     Tracing is disabled on both the scheduler and the executor — decisions
     do not depend on it, and the hot path must not pay for event dicts
     nobody reads.  An untimed warm-up run on throwaway state precedes
-    ``TIMED_REPEATS`` timed runs (each on fresh state) so bytecode
-    specialization and allocator warm-up don't bill the measurement;
-    ``wall_s`` is the minimum over the repeats.  Every run sees identical
-    inputs and execution is deterministic per seed, so the counters are
-    identical across repeats — they are taken from the last run.
+    the timed runs (each on fresh state) so bytecode specialization and
+    allocator warm-up don't bill the measurement; ``wall_s`` is the
+    minimum over the repeats.  Every run sees identical inputs and
+    execution is deterministic per seed, so the counters are identical
+    across repeats — they are taken from the last run.
     """
     import random
 
     from ..engine.pipeline import PipelineExecutor, ShardSet
     from ..model.generator import WorkloadSpec, generate_transactions
 
-    spec = WorkloadSpec(**dict(scenario.spec_kwargs))
-    transactions = generate_transactions(spec, random.Random(seed))
+    spec_kwargs = dict(scenario.spec_kwargs)
+    if quick and scenario.quick_spec_kwargs is not None:
+        spec_kwargs = dict(scenario.quick_spec_kwargs)
+    executor_kwargs = dict(scenario.executor_kwargs)
+    if overrides and "parallel" in executor_kwargs:
+        for key in ("parallel", "window"):
+            if overrides.get(key) is not None:
+                executor_kwargs[key] = overrides[key]
+
+    arrivals: dict[int, int] | None = None
+    if scenario.open_loop is not None:
+        from ..workloads.zipf import ZipfSpec, generate_zipf_workload
+
+        zipf = ZipfSpec(**spec_kwargs)
+        transactions, arrivals = generate_zipf_workload(
+            zipf, random.Random(seed)
+        )
+    else:
+        spec = WorkloadSpec(**spec_kwargs)
+        transactions = generate_transactions(spec, random.Random(seed))
 
     def _fresh() -> PipelineExecutor:
         built = scenario.factory()
@@ -321,17 +442,23 @@ def _run_seed_for(
             rollback=scenario.rollback,
             write_policy=scenario.write_policy,
             shards=shards,
-            **dict(scenario.executor_kwargs),
+            **executor_kwargs,
         )
         scheduler.events.disable()
         executor.events.disable()
         return executor
 
-    _fresh().execute(transactions, seed=seed)  # warm-up, discarded
+    if scenario.warmup:
+        warm = _fresh()
+        try:
+            warm.execute(transactions, seed=seed, arrivals=arrivals)
+        finally:
+            warm.close()
 
+    repeats = scenario.timed_repeats or TIMED_REPEATS
     wall_s = None
     profile_rows = None
-    for attempt in range(TIMED_REPEATS):
+    for attempt in range(repeats):
         executor = _fresh()
         scheduler = executor.scheduler
         profiler = None
@@ -340,14 +467,26 @@ def _run_seed_for(
 
             profiler = cProfile.Profile()
             profiler.enable()
-        start = time.perf_counter()
-        report = executor.execute(transactions, seed=seed)
-        elapsed = time.perf_counter() - start
-        if profiler is not None:
-            profiler.disable()
-            profile_rows = _profile_rows(profiler)
-        if wall_s is None or elapsed < wall_s:
-            wall_s = elapsed
+        try:
+            start = time.perf_counter()
+            report = executor.execute(
+                transactions, seed=seed, arrivals=arrivals
+            )
+            elapsed = time.perf_counter() - start
+            if profiler is not None:
+                profiler.disable()
+                profile_rows = _profile_rows(profiler)
+            if wall_s is None or elapsed < wall_s:
+                wall_s = elapsed
+            stages = executor.stage_snapshot()
+            plane = executor.parallel_plane
+            visits = (
+                plane.element_visits
+                if plane is not None
+                else _element_visits(scheduler)
+            )
+        finally:
+            executor.close()
     if scenario.check_serializable and not report.is_serializable():
         raise AssertionError(  # pragma: no cover - Theorem 2 guard
             f"{scenario.name}: committed projection not serializable"
@@ -358,13 +497,13 @@ def _run_seed_for(
         "wall_s": wall_s,
         "aborts": executor.stats.get("aborts", 0),
         "restarts": report.restarts,
-        "element_visits": _element_visits(scheduler),
+        "element_visits": visits,
         "ops_executed": report.ops_executed,
         "undo_ops": report.undo_count,
         "ignored_writes": report.ignored_writes,
         "committed": len(report.committed),
         "failed": len(report.failed),
-        "stages": executor.stage_snapshot(),
+        "stages": stages,
     }
     table = getattr(scheduler, "table", None)
     if table is not None and getattr(table, "decision_core", "python") == "numpy":
@@ -444,7 +583,39 @@ def _merge_stages(
     admission["max_queue_depth"] = max(
         snap["admission"]["max_queue_depth"] for snap in snapshots
     )
+    if any(snap["admission"].get("open_loop") for snap in snapshots):
+        # Open-loop latency: completions sum; percentiles cannot be
+        # averaged across seeds, so report the worst seed (conservative).
+        admission["open_loop"] = 1
+        admission["completed"] = sum(
+            snap["admission"].get("completed", 0) for snap in snapshots
+        )
+        for key in ("latency_p50", "latency_p99", "latency_max"):
+            values = [
+                snap["admission"][key]
+                for snap in snapshots
+                if key in snap["admission"]
+            ]
+            if values:
+                admission[key] = max(values)
     merged: dict[str, Any] = {"admission": admission}
+    parallel_snaps = [
+        snap["parallel"] for snap in snapshots if "parallel" in snap
+    ]
+    if parallel_snaps:
+        first = parallel_snaps[0]
+        block: dict[str, Any] = {
+            key: first[key]
+            for key in ("workers", "window", "start_method", "assignments")
+            if key in first
+        }
+        block["ipc"] = {
+            key: sum(snap["ipc"][key] for snap in parallel_snaps)
+            for key in first["ipc"]
+        }
+        block["worker_occupancy"] = first.get("worker_occupancy")
+        block["decision_cores"] = first.get("decision_cores")
+        merged["parallel"] = block
     shard_snaps = [snap["shards"] for snap in snapshots if "shards" in snap]
     if shard_snaps:
         n_shards = len(shard_snaps[0])
@@ -515,7 +686,11 @@ def run_scenario(
     """Execute one scenario across its seeds; returns the result record."""
     cells = [
         _run_seed_for(
-            scenario, seed, profile=profile, decision_core=decision_core
+            scenario,
+            seed,
+            profile=profile,
+            decision_core=decision_core,
+            quick=quick,
         )
         for seed in range(scenario.quick_seeds if quick else scenario.full_seeds)
     ]
@@ -523,12 +698,17 @@ def run_scenario(
 
 
 def _run_cell(
-    task: tuple[str, int, bool, str]
+    task: tuple[str, int, bool, str, bool, tuple]
 ) -> tuple[str, int, dict[str, Any]]:
     """Pool entry point: one ``(scenario, seed)`` cell, tagged for reorder."""
-    name, seed, profile, decision_core = task
+    name, seed, profile, decision_core, quick, override_items = task
     return name, seed, run_seed(
-        name, seed, profile=profile, decision_core=decision_core
+        name,
+        seed,
+        profile=profile,
+        decision_core=decision_core,
+        quick=quick,
+        overrides=dict(override_items),
     )
 
 
@@ -587,7 +767,7 @@ def core_microbench(
             elapsed if sequential_s is None else min(sequential_s, elapsed)
         )
     pairs = n_txns * n_txns - n_txns
-    return {
+    result = {
         "n_txns": n_txns,
         "k": k,
         "pairs": pairs,
@@ -597,6 +777,42 @@ def core_microbench(
         "numpy_pairs_per_s": round(pairs / numpy_s, 1),
         "speedup": round(sequential_s / numpy_s, 2),
     }
+    # Window-size sweep: the same all-pairs work at the batch sizes the
+    # parallel plane actually ships, locating the crossover below which
+    # numpy's fixed per-call overhead loses to the sequential scan.
+    # This is the measurement behind the plane's window-size default.
+    sweep: list[dict[str, Any]] = []
+    for window in (16, 64, 256, 1024):
+        batch = list(range(1, window + 1))
+        for txn in batch:
+            row = table.vector(txn)
+            if row.defined_count() == 0:
+                row.set(1, rng.randint(-50, 50))
+        core.compare_matrix(batch)  # sync rows before timing
+        start = time.perf_counter()
+        core.compare_matrix(batch)
+        w_numpy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for a in batch:
+            left = table.vector(a)
+            for b in batch:
+                if a != b:
+                    compare(left, table.vector(b))
+        w_python_s = time.perf_counter() - start
+        w_pairs = window * window - window
+        sweep.append(
+            {
+                "window": window,
+                "pairs": w_pairs,
+                "python_ms": round(w_python_s * 1000.0, 3),
+                "numpy_ms": round(w_numpy_s * 1000.0, 3),
+                "speedup": round(w_python_s / w_numpy_s, 2)
+                if w_numpy_s > 0
+                else 0.0,
+            }
+        )
+    result["window_sweep"] = sweep
+    return result
 
 
 def run_bench(
@@ -606,6 +822,8 @@ def run_bench(
     jobs: int = 1,
     profile: bool = False,
     decision_core: str = "python",
+    parallel: int | None = None,
+    window: int | None = None,
 ) -> dict[str, Any]:
     """Run the scenario family and write the consolidated JSON.
 
@@ -625,7 +843,17 @@ def run_bench(
     The payload always carries a ``decision_core_bench`` section — the
     all-pairs microbench isolating the batched-decision speedup — when
     numpy is importable, whichever core the scenarios ran on.
+
+    ``parallel``/``window`` override the worker count and window size of
+    scenarios that run the windowed parallel plane (the sequential
+    scenarios are never rerouted).  ``jobs`` is planned around them via
+    :func:`~repro.engine.pipeline.parallel.plan_fanout`: capped at the
+    machine's core count, and forced to 1 whenever scenario workers
+    would multiply underneath the pool — two layers of process fan-out
+    oversubscribe every core and produce garbage timings.
     """
+    from ..engine.pipeline import plan_fanout
+
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if decision_core not in ("python", "numpy"):
@@ -637,8 +865,18 @@ def run_bench(
         raise KeyError(
             f"unknown scenario(s) {unknown}; available: {sorted(table)}"
         )
+    overrides = {"parallel": parallel, "window": window}
+    worker_counts = [
+        overrides["parallel"]
+        if overrides["parallel"] is not None
+        else int(table[name].executor_kwargs.get("parallel") or 0)
+        for name in selected
+        if "parallel" in table[name].executor_kwargs
+    ]
+    jobs = plan_fanout(jobs, max(worker_counts, default=0))
     tasks = [
-        (name, seed, profile, decision_core)
+        (name, seed, profile, decision_core, quick,
+         tuple(sorted(overrides.items())))
         for name in selected
         for seed in range(
             table[name].quick_seeds if quick else table[name].full_seeds

@@ -1,6 +1,13 @@
-"""Workload generators: presets, hotspot, and grouped/nested workloads."""
+"""Workload generators: presets, hotspot, grouped/nested, and Zipf open-loop."""
 
 from .synthetic import PRESETS, logs, preset, sample
+from .zipf import (
+    ZipfSpec,
+    generate_zipf_workload,
+    hot_set,
+    zipf_cum_weights,
+    zipf_item_names,
+)
 from .hotspot import (
     HotspotSpec,
     generate as generate_hotspot,
@@ -31,4 +38,9 @@ __all__ = [
     "typed_transactions",
     "typed_workload",
     "sited_groups",
+    "ZipfSpec",
+    "generate_zipf_workload",
+    "hot_set",
+    "zipf_cum_weights",
+    "zipf_item_names",
 ]

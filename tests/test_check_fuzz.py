@@ -7,6 +7,7 @@ from repro.check.fuzz import (
     check_case,
     default_matrix,
     dump_counterexample_traces,
+    parallel_violations,
     run_fuzz,
     shrink_case,
 )
@@ -138,3 +139,24 @@ class TestCacheEquivalenceRule:
             run_executor=False,
         )
         assert violations == []
+
+
+class TestParallelEquivalenceRule:
+    def test_rule_passes_on_conflict_heavy_log(self):
+        violations = parallel_violations(
+            Log.parse("W1[x] W2[x] R3[x] W3[y] R1[y] W4[x] R2[y] W5[y]")
+        )
+        assert violations == []
+
+    def test_rule_opt_in_through_check_case(self):
+        log = Log.parse("W1[x] R2[x] W2[y] R1[y]")
+        violations = check_case(
+            log, run_executor=False, check_parallel=True
+        )
+        assert violations == []
+
+    def test_campaign_flag_round_trips(self):
+        config = FuzzConfig(iterations=3, seed=11, parallel=True)
+        report = run_fuzz(config)
+        assert report.ok
+        assert report.config.to_dict()["parallel"] is True

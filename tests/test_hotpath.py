@@ -337,11 +337,23 @@ class TestParallelBench:
             }
         return stripped
 
-    def test_jobs_4_matches_jobs_1_modulo_wall_clock(self):
+    def test_jobs_4_matches_jobs_1_modulo_wall_clock(self, monkeypatch):
+        # plan_fanout clamps the pool to the machine's core count; pin
+        # it so the process-pool path runs even on a 1-core box.
+        monkeypatch.setattr(
+            "repro.engine.pipeline.parallel.os.cpu_count", lambda: 4
+        )
         serial = run_bench(quick=True, only=self.SUBSET, out=None, jobs=1)
         parallel = run_bench(quick=True, only=self.SUBSET, out=None, jobs=4)
         assert serial["jobs"] == 1 and parallel["jobs"] == 4
         assert self._strip_wall(serial) == self._strip_wall(parallel)
+
+    def test_jobs_clamped_to_core_count(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.pipeline.parallel.os.cpu_count", lambda: 2
+        )
+        payload = run_bench(quick=True, only=["mt1_uniform"], out=None, jobs=8)
+        assert payload["jobs"] == 2
 
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
