@@ -44,7 +44,18 @@ outcomes against the paper's (empirically verified) class hierarchy:
   (``parallel-dsr``).  A deliberately small window forces multi-window
   plans so the cross-window carry/merge paths are exercised.  Off by
   default (worker pools per case are expensive); enabled via
-  ``FuzzConfig(parallel=True)`` or ``check_case(check_parallel=True)``.
+  ``FuzzConfig(parallel=True)`` or ``check_case(check_parallel=True)``;
+* the crash-recoverable data plane must survive deterministic fault
+  injection invisibly (``recovery-equivalence``, ``recovery-dsr``):
+  for every shard count the recoverable loopback transport with no
+  faults is bit-identical to ``workers=0``, and under random
+  :class:`~repro.engine.pipeline.faults.FaultPlan` scripts (node
+  crashes at 2PC phase boundaries, dropped/duplicated/delayed
+  messages, torn coordinator WAL appends) every crashed-and-recovered
+  run's report equals the fault-free run — bit-identity subsumes
+  prefix consistency — and its committed projection is DSR.  Off by
+  default; enabled via ``FuzzConfig(recovery=True)`` or
+  ``check_case(check_recovery=True)``.
 
 Intentionally *not* checked, because they are false: TO(k) monotonicity
 in ``k`` (Fig. 4 regions 2 and 6 are real), flat-log DSR for the
@@ -149,6 +160,7 @@ def check_case(
     check_cache: bool = True,
     check_vectorized: bool = True,
     check_parallel: bool = False,
+    check_recovery: bool = False,
     shards: tuple[int, ...] = DEFAULT_SHARDS,
 ) -> list[Violation]:
     """Run one log through the whole matrix; return every rule violation.
@@ -238,6 +250,8 @@ def check_case(
             violations.extend(pipeline_violations(log, oracle, shards=shards))
     if check_parallel and shards:
         violations.extend(parallel_violations(log, oracle, shards=shards))
+    if check_recovery and shards:
+        violations.extend(recovery_violations(log, oracle, shards=shards))
     return violations
 
 
@@ -547,6 +561,170 @@ def parallel_violations(
     return violations
 
 
+#: Data nodes the recovery rule runs with, and fault plans per shard
+#: count.  Two nodes is the smallest cluster where 2PC is non-trivial
+#: (cross-node windows, independent failures).
+RECOVERY_FUZZ_NODES = 2
+RECOVERY_FUZZ_PLANS = 3
+
+_REPORT_FIELDS = (
+    "committed",
+    "failed",
+    "restarts",
+    "ops_executed",
+    "ops_reexecuted",
+    "ignored_writes",
+    "undo_count",
+    "committed_ops",
+)
+
+
+def _report_mismatches(got, want) -> list[str]:
+    return [
+        fname
+        for fname in _REPORT_FIELDS
+        if getattr(got, fname) != getattr(want, fname)
+    ]
+
+
+def _recovery_run(transactions, log, n_shards, window, nodes, fault_plan):
+    """One windowed run over the recoverable loopback plane; returns
+    ``(report, rounds)`` where *rounds* is the 2PC round count (the
+    window-id space faults are aimed at)."""
+    service = TransactionService(
+        k=2,
+        n_shards=n_shards,
+        parallel=nodes,
+        window=window,
+        transport="loopback",
+        fault_plan=fault_plan,
+    )
+    try:
+        service.submit_programs(transactions)
+        report = service.run(schedule=log)
+        rounds = service.stage_snapshot()["parallel"]["ipc"]["rounds"]
+    finally:
+        service.close()
+    return report, rounds
+
+
+def recovery_violations(
+    log: Log,
+    oracle: SerializabilityOracle | None = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    window: int = PARALLEL_FUZZ_WINDOW,
+    nodes: int = RECOVERY_FUZZ_NODES,
+    plans: int = RECOVERY_FUZZ_PLANS,
+) -> list[Violation]:
+    """Recovery checks over the crash-recoverable data plane.
+
+    For every shard count three things are pinned:
+
+    * the recoverable **loopback transport with no faults** is
+      bit-identical to the plain ``workers=0`` windowed lane
+      (``recovery-equivalence`` — 2PC, durable logs and the wire codec
+      must all be invisible when nothing fails);
+    * under *plans* deterministic random fault plans (node crashes at
+      2PC phase boundaries, dropped/duplicated/delayed messages, torn
+      coordinator WAL appends — drawn from the fault-free run's round
+      count so targets land), every crashed-and-recovered run's report
+      is **bit-identical to the fault-free run** — which subsumes
+      prefix consistency: the committed projection of the recovered run
+      *is* (not merely extends) the fault-free one
+      (``recovery-equivalence``);
+    * every recovered run's committed projection is DSR by the oracle
+      (``recovery-dsr``).
+
+    Fault plans are seeded from ``str(log)``, so the whole check is a
+    deterministic function of the log — ddmin shrinking stays valid.
+    Off by default (durable logs + retries per case are expensive);
+    enabled via ``FuzzConfig(recovery=True)`` or
+    ``check_case(check_recovery=True)``.
+    """
+    from ..engine.pipeline.faults import random_plan
+
+    oracle = oracle if oracle is not None else SerializabilityOracle()
+    violations: list[Violation] = []
+    text = str(log)
+    transactions = list(log.transactions.values())
+    if not transactions:
+        return violations
+    for n_shards in shards:
+        service = TransactionService(
+            k=2, n_shards=n_shards, parallel=0, window=window
+        )
+        try:
+            service.submit_programs(transactions)
+            base = service.run(schedule=log)
+        finally:
+            service.close()
+        try:
+            clean, rounds = _recovery_run(
+                transactions, log, n_shards, window, nodes, None
+            )
+        except Exception as exc:
+            violations.append(
+                Violation(
+                    "recovery-equivalence",
+                    text,
+                    f"recovery[shards={n_shards}] loopback no-fault run "
+                    f"raised {exc!r}",
+                )
+            )
+            continue
+        mismatches = _report_mismatches(clean, base)
+        if mismatches:
+            violations.append(
+                Violation(
+                    "recovery-equivalence",
+                    text,
+                    f"recovery[shards={n_shards}, nodes={nodes}, "
+                    f"window={window}] loopback no-fault run diverged "
+                    f"from workers=0 in: {', '.join(mismatches)}",
+                )
+            )
+        rng = random.Random(f"recovery:{n_shards}:{text}")
+        for plan_index in range(plans):
+            plan = random_plan(rng, windows=max(1, rounds), nodes=nodes)
+            scripted = plan.to_dict()
+            try:
+                recovered, _rounds = _recovery_run(
+                    transactions, log, n_shards, window, nodes, plan
+                )
+            except Exception as exc:
+                violations.append(
+                    Violation(
+                        "recovery-equivalence",
+                        text,
+                        f"recovery[shards={n_shards}, plan={scripted}] "
+                        f"raised {exc!r}",
+                    )
+                )
+                continue
+            if not oracle.is_dsr(recovered.committed_log):
+                violations.append(
+                    Violation(
+                        "recovery-dsr",
+                        text,
+                        f"recovery[shards={n_shards}, plan={scripted}] "
+                        "committed a non-DSR projection "
+                        f"{recovered.committed_log}",
+                    )
+                )
+            mismatches = _report_mismatches(recovered, base)
+            if mismatches:
+                violations.append(
+                    Violation(
+                        "recovery-equivalence",
+                        text,
+                        f"recovery[shards={n_shards}, plan={scripted}] "
+                        "recovered run diverged from the fault-free run "
+                        f"in: {', '.join(mismatches)}",
+                    )
+                )
+    return violations
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FuzzConfig:
@@ -566,6 +744,9 @@ class FuzzConfig:
     #: Also run the ``parallel-equivalence`` rule per case (spins up a
     #: worker pool per shard count, so it is opt-in).
     parallel: bool = False
+    #: Also run the ``recovery-equivalence``/``recovery-dsr`` rules per
+    #: case (durable logs + fault-plan retries per shard count; opt-in).
+    recovery: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -578,6 +759,7 @@ class FuzzConfig:
             "max_counterexamples": self.max_counterexamples,
             "shards": list(self.shards),
             "parallel": self.parallel,
+            "recovery": self.recovery,
         }
 
 
@@ -648,6 +830,7 @@ def shrink_case(
     matrix: Mapping[str, SchedulerFactory] | None = None,
     shards: tuple[int, ...] = DEFAULT_SHARDS,
     check_parallel: bool = False,
+    check_recovery: bool = False,
 ) -> Log:
     """ddmin a failing log down to a 1-minimal operation subsequence that
     still violates *rule* (through the same full :func:`check_case`)."""
@@ -662,6 +845,7 @@ def shrink_case(
                 matrix=matrix,
                 oracle=oracle,
                 check_parallel=check_parallel,
+                check_recovery=check_recovery,
                 shards=shards,
             )
         )
@@ -693,6 +877,7 @@ def run_fuzz(
             matrix=matrix,
             oracle=oracle,
             check_parallel=config.parallel,
+            check_recovery=config.recovery,
             shards=config.shards,
         )
         report.cases += 1
@@ -710,6 +895,7 @@ def run_fuzz(
                     matrix=matrix,
                     shards=config.shards,
                     check_parallel=config.parallel,
+                    check_recovery=config.recovery,
                 )
                 if config.shrink
                 else log

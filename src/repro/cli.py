@@ -162,6 +162,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             decision_core=args.decision_core,
             parallel=args.parallel,
             window=args.window,
+            transport=args.transport,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
@@ -261,6 +262,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             shards=tuple(args.shards),
             parallel=args.check_parallel,
+            recovery=args.check_recovery,
         )
         report = run_fuzz(config, progress=fuzz_progress)
         counterexample_report = report
@@ -388,6 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios",
     )
     p_bench.add_argument(
+        "--transport",
+        choices=("pipe", "loopback", "tcp"),
+        default=None,
+        help="override the parallel-plane transport for windowed-plane "
+        "scenarios (pipe = PR 6 multiprocessing pipes; loopback/tcp = "
+        "the crash-recoverable 2PC data plane); requires --parallel",
+    )
+    p_bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     p_bench.set_defaults(func=cmd_bench)
@@ -431,6 +441,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fuzz the parallel execution plane: worker-process "
         "runs must be bit-identical to in-process windowed runs at "
         "every shard count (slower; spawns worker pools per case)",
+    )
+    p_check.add_argument(
+        "--check-recovery",
+        action="store_true",
+        help="also fuzz the crash-recoverable data plane: loopback "
+        "no-fault runs must be bit-identical to workers=0, and every "
+        "crashed-and-recovered run (random fault plans per case) must "
+        "equal the fault-free run with a DSR committed projection",
     )
     p_check.add_argument(
         "--limit",

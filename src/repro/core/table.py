@@ -373,6 +373,25 @@ class TimestampTable:
             # vector object for the identity check.
             self._core.forget(txn)
 
+    def invalidate_primed(self, txns) -> int:
+        """Drop speculative primed decisions for *txns* outright.
+
+        :meth:`order_after_latest` already validates every primed entry
+        (vector identity, version, index agreement) before trusting it,
+        so stale entries can never flip a decision — this is the
+        belt-and-braces path for replica row refreshes (restart/drop
+        commands and re-shipped reseeded rows on the parallel plane),
+        where the entire speculation basis for the transaction is gone.
+        Returns the number of entries dropped."""
+        primed = self._primed
+        if not primed:
+            return 0
+        txns = set(txns)
+        stale = [key for key in primed if key[0] in txns]
+        for key in stale:
+            del primed[key]
+        return len(stale)
+
     def rt(self, item: str) -> int:
         """``RT(x)``: id of the most recent reader (initially ``T_0``)."""
         return self._rt.get(item, VIRTUAL_TXN)

@@ -22,6 +22,7 @@ from .admission import (
     RetryPolicy,
     resolve_policy,
 )
+from .faults import Fault, FaultPlan, random_plan
 from .parallel import (
     DEFAULT_WINDOW,
     ParallelExecutionError,
@@ -30,7 +31,9 @@ from .parallel import (
     default_start_method,
     plan_fanout,
 )
+from .recovery import DataNode, NodeCrash, RecoverableShardSet
 from .report import ExecutionReport
+from .transport import LoopbackTransport, NodeFailure, TcpTransport
 from .router import ShardRouter, stable_hash
 from .service import PipelineExecutor
 from .sessions import Session, SessionError, TransactionService
@@ -39,13 +42,22 @@ from .shard import Shard, ShardSet, ShardSpec
 __all__ = [
     "AdmissionQueue",
     "CappedBackoff",
+    "DataNode",
     "DEFAULT_WINDOW",
     "default_start_method",
     "ExecutionReport",
+    "Fault",
+    "FaultPlan",
     "GlobalRestart",
     "ImmediateRetry",
+    "LoopbackTransport",
+    "NodeCrash",
+    "NodeFailure",
     "ParallelExecutionError",
     "ParallelShardSet",
+    "random_plan",
+    "RecoverableShardSet",
+    "TcpTransport",
     "PipelineExecutor",
     "plan_fanout",
     "POLICIES",

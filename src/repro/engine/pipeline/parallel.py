@@ -196,6 +196,7 @@ class ShardEngine:
         needed."""
         table = self.scheduler.table
         exported = self._exported
+        refreshed = []
         for txn, values in rows:
             row = table.vector(txn)
             row.flush()
@@ -203,6 +204,13 @@ class ShardEngine:
                 if value is not None:
                     row.set(position, value)
             exported[txn] = row.version
+            refreshed.append(txn)
+        # A re-shipped row invalidates any speculative primed decision
+        # that was computed against the pre-reseed snapshot (the primed
+        # entry's own validation would catch a changed vector, but the
+        # whole speculation basis is gone — drop it outright).
+        if refreshed:
+            table.invalidate_primed(refreshed)
 
     def apply_command(self, command: tuple) -> None:
         kind = command[0]
@@ -214,6 +222,9 @@ class ShardEngine:
         if kind == "commit":
             scheduler.commit(txn)
             return
+        # "restart"/"drop" precede a reseed or re-ship of txn's row:
+        # primed decisions speculated against the dead row are stale.
+        scheduler.table.invalidate_primed((txn,))
         # "restart" / "drop": the coordinator resolved a reject for txn.
         if txn in scheduler.aborted:
             # This engine issued the reject: its RT/WT undo already ran
@@ -609,17 +620,7 @@ class ParallelShardSet:
         if self._closed:
             raise RuntimeError("parallel plane is closed")
         if self._transport is None:
-            if self.workers == 0:
-                self._transport = _InlineTransport(
-                    self._assignments, self._config
-                )
-            else:
-                self._transport = _ProcessTransport(
-                    self._assignments,
-                    self._config,
-                    start_method=self._start_method,
-                    timeout=self._timeout,
-                )
+            self._transport = self._build_transport()
         self._pending_reset = self._ran_before
         self._ran_before = True
         self._store.clear()
@@ -630,6 +631,17 @@ class ParallelShardSet:
         for shard in self.shards:
             shard.clear()
         self.ipc = self._fresh_ipc()
+
+    def _build_transport(self) -> Any:
+        """Transport factory; the recovery plane overrides this."""
+        if self.workers == 0:
+            return _InlineTransport(self._assignments, self._config)
+        return _ProcessTransport(
+            self._assignments,
+            self._config,
+            start_method=self._start_method,
+            timeout=self._timeout,
+        )
 
     def close(self) -> None:
         transport = self._transport
@@ -701,38 +713,14 @@ class ParallelShardSet:
         """
         if self._transport is None:
             raise RuntimeError("call begin_run() before run_window()")
-        commands = tuple(commands)
-        if self._pending_reset:
-            commands = (("reset",),) + commands
-            self._pending_reset = False
-        # Coordinator-side effects of commands, before computing row
-        # shipments (a restarted row must not be shipped from a stale
-        # snapshot; note_drop/note_reset are idempotent when the service
-        # already applied them eagerly).
-        for command in commands:
-            kind = command[0]
-            if kind == "reset":
-                self.note_reset()
-            elif kind in ("restart", "drop"):
-                self.note_drop(command[1])
-        involved: set[int] = {
-            shard for shard, batch in batches.items() if batch
-        }
-        if commands:
-            involved.update(range(self.spec.n_shards))
+        commands = self._absorb_commands(commands)
+        involved = self._involved(batches, commands)
         if not involved:
             return {}
-        per_worker: dict[int, list[tuple]] = {}
-        entries_shipped = 0
-        rows_shipped = 0
-        for shard_id in sorted(involved):
-            batch = tuple(batches.get(shard_id, ()))
-            rows = self._rows_for(shard_id, batch)
-            entries_shipped += len(batch)
-            rows_shipped += len(rows)
-            per_worker.setdefault(self._worker_of[shard_id], []).append(
-                (shard_id, rows, batch)
-            )
+        per_worker, entries, rows, updates = self._plan_shipments(
+            involved, batches
+        )
+        self._apply_shipments(updates)
         transport = self._transport
         try:
             for worker_id in sorted(per_worker):
@@ -748,6 +736,68 @@ class ParallelShardSet:
             # failure is clean (no dangling processes, no hung pipes).
             self.close()
             raise
+        decisions = self._merge_replies(replies)
+        self._account_ipc(entries, rows, len(per_worker))
+        return decisions
+
+    # -- window helpers (shared with the recovery plane) ---------------
+    def _absorb_commands(self, commands: Sequence[tuple]) -> tuple:
+        """Fold the pending reset in and apply coordinator-side command
+        effects before row shipments are computed (a restarted row must
+        not be shipped from a stale snapshot; note_drop/note_reset are
+        idempotent when the service already applied them eagerly)."""
+        commands = tuple(commands)
+        if self._pending_reset:
+            commands = (("reset",),) + commands
+            self._pending_reset = False
+        for command in commands:
+            kind = command[0]
+            if kind == "reset":
+                self.note_reset()
+            elif kind in ("restart", "drop"):
+                self.note_drop(command[1])
+        return commands
+
+    def _involved(
+        self, batches: Mapping[int, Sequence], commands: Sequence[tuple]
+    ) -> set[int]:
+        involved: set[int] = {
+            shard for shard, batch in batches.items() if batch
+        }
+        if commands:
+            involved.update(range(self.spec.n_shards))
+        return involved
+
+    def _plan_shipments(
+        self, involved: set[int], batches: Mapping[int, Sequence]
+    ) -> tuple[dict[int, list[tuple]], int, int, dict[int, dict[int, int]]]:
+        """Plan one window's per-worker payloads without mutating any
+        coordinator state.  Returns ``(per_worker, entries, rows,
+        updates)`` where *updates* holds the watermark advances to fold
+        in (immediately here; only on 2PC commit in the recovery
+        plane, so an aborted attempt can replan identically)."""
+        per_worker: dict[int, list[tuple]] = {}
+        entries_shipped = 0
+        rows_shipped = 0
+        updates: dict[int, dict[int, int]] = {}
+        for shard_id in sorted(involved):
+            batch = tuple(batches.get(shard_id, ()))
+            rows, shard_updates = self._plan_rows(shard_id, batch)
+            entries_shipped += len(batch)
+            rows_shipped += len(rows)
+            updates[shard_id] = shard_updates
+            per_worker.setdefault(self._worker_of[shard_id], []).append(
+                (shard_id, rows, batch)
+            )
+        return per_worker, entries_shipped, rows_shipped, updates
+
+    def _apply_shipments(self, updates: dict[int, dict[int, int]]) -> None:
+        for shard_id, shard_updates in updates.items():
+            self._have[shard_id].update(shard_updates)
+
+    def _merge_replies(self, replies: Mapping[int, tuple]) -> dict[int, int]:
+        """Merge per-worker replies into the coordinator state (row
+        store, item index, engine stats) in deterministic order."""
         decisions: dict[int, int] = {}
         store = self._store
         for worker_id in sorted(replies):
@@ -765,24 +815,27 @@ class ParallelShardSet:
                 for item, rt, wt in index:
                     self._item_index[item] = (rt, wt)
                 self._engine_stats[shard_id] = stats
+        return decisions
+
+    def _account_ipc(self, entries: int, rows: int, messages: int) -> None:
         ipc = self.ipc
-        if entries_shipped:
+        if entries:
             ipc["windows"] += 1
         else:
             ipc["sync_rounds"] += 1
-        ipc["messages"] += len(per_worker)
-        ipc["entries_shipped"] += entries_shipped
-        ipc["rows_shipped"] += rows_shipped
-        return decisions
+        ipc["messages"] += messages
+        ipc["entries_shipped"] += entries
+        ipc["rows_shipped"] += rows
 
-    def _rows_for(
+    def _plan_rows(
         self, shard_id: int, batch: Sequence[tuple[int, int, int, str]]
-    ) -> tuple:
-        """Replica rows *shard_id* is missing for *batch*: the conflict
+    ) -> tuple[tuple, dict[int, int]]:
+        """Replica rows *shard_id* is missing for *batch* — the conflict
         row-set of every entry, minus what was already shipped at the
-        stored version."""
+        stored version — plus the watermark updates shipping them
+        implies.  Pure: mutates nothing."""
         if not batch:
-            return ()
+            return (), {}
         need: set[int] = set()
         index = self._item_index
         for _seq, txn, _kind, item in batch:
@@ -793,6 +846,7 @@ class ParallelShardSet:
         store = self._store
         have = self._have[shard_id]
         rows: list[tuple[int, tuple]] = []
+        updates: dict[int, int] = {}
         for txn in sorted(need):
             entry = store.get(txn)
             if entry is None:
@@ -800,8 +854,16 @@ class ParallelShardSet:
             version, values = entry
             if have.get(txn) != version:
                 rows.append((txn, values))
-                have[txn] = version
-        return tuple(rows)
+                updates[txn] = version
+        return tuple(rows), updates
+
+    def _rows_for(
+        self, shard_id: int, batch: Sequence[tuple[int, int, int, str]]
+    ) -> tuple:
+        """Back-compat wrapper: plan and fold watermarks immediately."""
+        rows, updates = self._plan_rows(shard_id, batch)
+        self._have[shard_id].update(updates)
+        return rows
 
     # ------------------------------------------------------------------
     # Occupancy accounting (coordinator-side, merge order)

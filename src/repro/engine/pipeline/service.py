@@ -102,6 +102,9 @@ class PipelineExecutor(Instrumented):
         parallel: int | ParallelShardSet | None = None,
         window: int | None = None,
         prime_window: int | None = None,
+        transport: str = "pipe",
+        fault_plan: Any | None = None,
+        state_dir: str | None = None,
     ) -> None:
         if write_policy not in ("immediate", "deferred"):
             raise ValueError("write_policy must be 'immediate' or 'deferred'")
@@ -111,6 +114,20 @@ class PipelineExecutor(Instrumented):
             raise ValueError("shards.scheduler must be the pipeline scheduler")
         if prime_window is not None and prime_window < 1:
             raise ValueError("prime_window must be positive")
+        if transport not in ("pipe", "loopback", "tcp"):
+            raise ValueError(
+                "transport must be 'pipe', 'loopback' or 'tcp'"
+            )
+        if transport != "pipe" and parallel is None:
+            raise ValueError(
+                "transport selection requires parallel execution "
+                "(pass parallel=<workers>)"
+            )
+        if fault_plan is not None and transport == "pipe":
+            raise ValueError(
+                "fault injection requires the recoverable transports "
+                "('loopback' or 'tcp')"
+            )
         self.scheduler = scheduler
         self.database = database if database is not None else Database()
         self.max_attempts = max_attempts
@@ -154,12 +171,25 @@ class PipelineExecutor(Instrumented):
                     raise ValueError(
                         "parallel plane and shard set disagree on shard count"
                     )
-            else:
+            elif transport == "pipe":
                 plane = ParallelShardSet(
                     shards.spec,
                     workers=int(parallel),
                     window=window if window is not None else DEFAULT_WINDOW,
                     router=shards.router,
+                )
+                self._parallel_owned = True
+            else:
+                from .recovery import RecoverableShardSet
+
+                plane = RecoverableShardSet(
+                    shards.spec,
+                    workers=int(parallel),
+                    window=window if window is not None else DEFAULT_WINDOW,
+                    router=shards.router,
+                    transport=transport,
+                    fault_plan=fault_plan,
+                    state_dir=state_dir,
                 )
                 self._parallel_owned = True
             self.parallel_plane = plane
@@ -249,7 +279,17 @@ class PipelineExecutor(Instrumented):
             admission.begin([op.txn for op in schedule], rng=rng)
         with self.metrics.timer("execute"):
             if self.parallel_plane is not None:
-                self._run_windowed(admission, states, undo, report)
+                try:
+                    self._run_windowed(admission, states, undo, report)
+                except BaseException:
+                    # Close-on-error: the plane's transport (and any
+                    # worker processes) is in an unknown state after a
+                    # mid-window failure — run_window tears itself down
+                    # on ParallelExecutionError, but coordinator-side
+                    # failures (merge bugs, KeyboardInterrupt) would
+                    # otherwise leak live children.
+                    self.parallel_plane.close()
+                    raise
             elif admission.is_plain:
                 self._run_plain(admission, states, undo, report)
             else:

@@ -141,6 +141,9 @@ class TransactionService:
         parallel: int | Any | None = None,
         window: int | None = None,
         prime_window: int | None = None,
+        transport: str = "pipe",
+        fault_plan: Any | None = None,
+        state_dir: str | None = None,
     ) -> None:
         spec = ShardSpec(
             n_shards=n_shards,
@@ -166,6 +169,9 @@ class TransactionService:
             parallel=parallel,
             window=window,
             prime_window=prime_window,
+            transport=transport,
+            fault_plan=fault_plan,
+            state_dir=state_dir,
         )
         self._next_txn = 1
         self._programs: dict[int, Transaction] = {}

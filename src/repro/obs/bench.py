@@ -412,7 +412,7 @@ def _run_seed_for(
         spec_kwargs = dict(scenario.quick_spec_kwargs)
     executor_kwargs = dict(scenario.executor_kwargs)
     if overrides and "parallel" in executor_kwargs:
-        for key in ("parallel", "window"):
+        for key in ("parallel", "window", "transport"):
             if overrides.get(key) is not None:
                 executor_kwargs[key] = overrides[key]
 
@@ -606,7 +606,13 @@ def _merge_stages(
         first = parallel_snaps[0]
         block: dict[str, Any] = {
             key: first[key]
-            for key in ("workers", "window", "start_method", "assignments")
+            for key in (
+                "workers",
+                "window",
+                "start_method",
+                "transport",
+                "assignments",
+            )
             if key in first
         }
         block["ipc"] = {
@@ -824,6 +830,7 @@ def run_bench(
     decision_core: str = "python",
     parallel: int | None = None,
     window: int | None = None,
+    transport: str | None = None,
 ) -> dict[str, Any]:
     """Run the scenario family and write the consolidated JSON.
 
@@ -846,7 +853,10 @@ def run_bench(
 
     ``parallel``/``window`` override the worker count and window size of
     scenarios that run the windowed parallel plane (the sequential
-    scenarios are never rerouted).  ``jobs`` is planned around them via
+    scenarios are never rerouted); ``transport`` reroutes those same
+    scenarios onto the recoverable data plane (``"loopback"`` or
+    ``"tcp"``) so the network/2PC overhead can be measured against the
+    pipe baseline.  ``jobs`` is planned around them via
     :func:`~repro.engine.pipeline.parallel.plan_fanout`: capped at the
     machine's core count, and forced to 1 whenever scenario workers
     would multiply underneath the pool — two layers of process fan-out
@@ -865,7 +875,7 @@ def run_bench(
         raise KeyError(
             f"unknown scenario(s) {unknown}; available: {sorted(table)}"
         )
-    overrides = {"parallel": parallel, "window": window}
+    overrides = {"parallel": parallel, "window": window, "transport": transport}
     worker_counts = [
         overrides["parallel"]
         if overrides["parallel"] is not None
@@ -915,6 +925,8 @@ def run_bench(
         "decision_core": decision_core,
         "scenarios": results,
     }
+    if transport is not None:
+        payload["transport"] = transport
     microbench = core_microbench()
     if microbench is not None:
         payload["decision_core_bench"] = microbench

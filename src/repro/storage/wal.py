@@ -19,6 +19,8 @@ Section VI-C 1.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -103,3 +105,82 @@ class UndoLog:
 
     def pending(self, txn: int) -> int:
         return len(self._records.get(txn, ()))
+
+
+class DurableLog:
+    """Append-only JSONL redo log with torn-tail recovery.
+
+    The recovery plane's durability primitive, shared by the coordinator
+    (commit/abort decision records) and the data nodes (prepared-window
+    payloads + decision records).  One JSON object per line; a record is
+    durable once its newline hit the OS page cache — crashes in this
+    harness are ``os._exit``, which preserves flushed buffers, so no
+    fsync is needed for deterministic tests.
+
+    A *torn* tail (partial final line with no newline, as left by a
+    crash mid-append) is silently discarded by :meth:`replay`; anything
+    undecodable *before* the final line is real corruption and raises.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record (atomic at line granularity)."""
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def append_torn(self, record: dict) -> None:
+        """Fault injection only: write a *partial* record with no
+        terminating newline, simulating a crash mid-append."""
+        text = json.dumps(record, sort_keys=True)
+        self._file.write(text[: max(1, len(text) // 2)])
+        self._file.flush()
+
+    # ------------------------------------------------------------------
+    def replay(self) -> list[dict]:
+        """All durable records, oldest first, torn tail excluded."""
+        self._file.flush()
+        records: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for position, line in enumerate(lines):
+            if not line.endswith("\n"):
+                # Torn tail: the append never completed, the record was
+                # never decided durable.  (Only legal on the last line.)
+                break
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if position == len(lines) - 1:
+                    break  # corrupt final line == torn tail
+                raise ValueError(
+                    f"corrupt WAL record at {self.path}:{position + 1}"
+                ) from None
+        return records
+
+    def repair(self) -> list[dict]:
+        """Replay, then truncate any torn tail so appends are safe again.
+        This is the restart entry point for both coordinator and nodes."""
+        records = self.replay()
+        self._file.close()
+        good = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(good)
+        self._file = open(self.path, "a", encoding="utf-8")
+        return records
+
+    def truncate(self) -> None:
+        """Drop every record (a fresh run begins)."""
+        self._file.close()
+        self._file = open(self.path, "w", encoding="utf-8")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass

@@ -22,7 +22,13 @@ from repro.check.oracle import SerializabilityOracle
 from repro.model.log import Log
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
-CASES = sorted(CORPUS_DIR.glob("*.json"))
+# recovery_*.json cases carry a fault plan + report expectation, not an
+# acceptance vector; tests/test_recovery.py owns their drift checks.
+CASES = sorted(
+    path
+    for path in CORPUS_DIR.glob("*.json")
+    if not path.stem.startswith("recovery_")
+)
 
 
 def _load(path: Path) -> dict:

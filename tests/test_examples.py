@@ -21,6 +21,7 @@ EXPECTED_SNIPPETS = {
     "long_transactions.py": "scanner survives",
     "snapshot_analytics.py": "snapshot consistency verified",
     "paper_tour.py": "tour complete",
+    "recovery_demo.py": "bit-identical to the fault-free reference",
 }
 
 

@@ -227,6 +227,35 @@ class TestFailureSurfacing:
         finally:
             service.close()
 
+    def test_no_live_children_after_mid_window_failure(self):
+        """A mid-window ParallelExecutionError must close the plane on
+        the way out: the *surviving* workers are shut down too, not
+        leaked as live children of the coordinator process."""
+        import multiprocessing
+
+        txns, log = make_workload(1)
+        service = TransactionService(k=2, n_shards=4, parallel=2, window=4)
+        try:
+            service.submit_programs(txns)
+            service.run(schedule=log)  # spins both workers up
+            workers = service.executor.parallel_plane._transport._workers
+            processes = [entry[0] for entry in workers.values()]
+            assert len(processes) == 2
+            assert all(process.is_alive() for process in processes)
+            processes[0].kill()
+            processes[0].join(timeout=10)
+            service.submit_programs(txns)
+            with pytest.raises(ParallelExecutionError):
+                service.run(schedule=log)
+            # Close-on-error: the healthy worker is gone as well.
+            for process in processes:
+                process.join(timeout=10)
+                assert not process.is_alive()
+            leaked = set(processes) & set(multiprocessing.active_children())
+            assert not leaked
+        finally:
+            service.close()
+
     def test_worker_exception_propagates_with_traceback(self):
         txns, log = make_workload(1)
         service = TransactionService(k=2, n_shards=1, parallel=1, window=4)
@@ -324,3 +353,48 @@ class TestKnobPlumbing:
         plane.close()
         with pytest.raises(RuntimeError, match="closed"):
             plane.begin_run()
+
+
+class TestPrimedReseedInvalidation:
+    def test_invalidate_primed_drops_refreshed_txns(self):
+        from repro.core.table import TimestampTable
+
+        table = TimestampTable(k=2, decision_core="numpy")
+        if table.decision_core != "numpy":
+            pytest.skip("numpy unavailable; priming is inert")
+        table.prime_requests([(1, "x"), (1, "y"), (2, "x")])
+        assert (1, "x") in table._primed
+        assert (2, "x") in table._primed
+        assert table.invalidate_primed((1,)) == 2
+        assert set(table._primed) == {(2, "x")}
+        assert table.invalidate_primed((7,)) == 0
+
+    def test_primed_and_unprimed_agree_across_reseed(self):
+        """Regression for the ShardEngine reseed path: restart/drop
+        commands and re-shipped reseeded rows refresh replica vectors,
+        which must invalidate any primed decisions speculated against
+        the old rows.  Primed (numpy) and unprimed (python) planes stay
+        bit-identical on a hot workload that exercises the remedy."""
+        rng = random.Random(0)
+        spec = WorkloadSpec(
+            num_txns=10, ops_per_txn=3, num_items=2, write_ratio=0.7
+        )
+        total_restarts = 0
+        for seed in range(6):
+            rng = random.Random(seed)
+            txns = generate_transactions(spec, rng)
+            log = interleave(txns, rng)
+            common = dict(
+                parallel=0, n_shards=2, window=3, anti_starvation=True
+            )
+            plain, _ = run_windowed(
+                txns, log, decision_core="python", **common
+            )
+            primed, _ = run_windowed(
+                txns, log, decision_core="numpy", **common
+            )
+            assert report_tuple(primed) == report_tuple(plain), f"seed {seed}"
+            total_restarts += plain.restarts
+        # The reseed remedy must actually have fired somewhere, or the
+        # sweep pinned nothing.
+        assert total_restarts > 0
