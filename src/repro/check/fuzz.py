@@ -45,6 +45,17 @@ outcomes against the paper's (empirically verified) class hierarchy:
   plans so the cross-window carry/merge paths are exercised.  Off by
   default (worker pools per case are expensive); enabled via
   ``FuzzConfig(parallel=True)`` or ``check_case(check_parallel=True)``;
+* the multiversion pipeline must be serializable end to end
+  (``mvcc-equivalence``, ``mvcc-overlap``, ``mvcc-read-aborts``): for
+  every shard count a ``TransactionService(protocol="mvmt")`` run's
+  committed reads-from relation must equal the serial replay of the
+  committed projection in the scheduler's own serialization order
+  (view-level — MVMT reads old versions, so conflict-DSR is the wrong
+  oracle), committed/failed must be disjoint, and ``mv_read_aborts``
+  must be **zero** (reads are abort-free by construction; only GC
+  horizon aborts, counted separately, may restart a reader).  Off by
+  default; enabled via ``FuzzConfig(mvcc=True)`` or
+  ``check_case(check_mvcc=True)``;
 * the crash-recoverable data plane must survive deterministic fault
   injection invisibly (``recovery-equivalence``, ``recovery-dsr``):
   for every shard count the recoverable loopback transport with no
@@ -161,6 +172,7 @@ def check_case(
     check_vectorized: bool = True,
     check_parallel: bool = False,
     check_recovery: bool = False,
+    check_mvcc: bool = False,
     shards: tuple[int, ...] = DEFAULT_SHARDS,
 ) -> list[Violation]:
     """Run one log through the whole matrix; return every rule violation.
@@ -252,6 +264,8 @@ def check_case(
         violations.extend(parallel_violations(log, oracle, shards=shards))
     if check_recovery and shards:
         violations.extend(recovery_violations(log, oracle, shards=shards))
+    if check_mvcc and shards:
+        violations.extend(mvcc_violations(log, shards=shards))
     return violations
 
 
@@ -463,6 +477,83 @@ def pipeline_violations(
                     text,
                     "pipeline[shards=1] diverged from the legacy executor "
                     f"in: {', '.join(mismatches)}",
+                )
+            )
+    return violations
+
+
+def mvcc_violations(
+    log: Log,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+) -> list[Violation]:
+    """Multiversion-pipeline checks (``protocol="mvmt"``).
+
+    For every shard count, a sequential pipeline run over *log*'s
+    programs must satisfy three rules:
+
+    * ``mvcc-overlap`` — committed and failed sets are disjoint;
+    * ``mvcc-read-aborts`` — ``mv_read_aborts`` is **zero**: MVMT reads
+      are abort-free by construction (an incomparable writer is pinned
+      below the reader, never aborted against).  GC horizon aborts are
+      counted separately and are legal;
+    * ``mvcc-equivalence`` — the committed transactions' executed
+      reads-from relation (straight off the version chains) equals the
+      reads-from of a **serial replay** of the committed projection in
+      the scheduler's own serialization order.  This is view-level
+      correctness: an MVMT run is serializable because every read can be
+      attributed to the right version in *some* serial order, not
+      because its flat log is conflict-DSR (it usually is not — that is
+      the entire point of multiversioning).
+    """
+    violations: list[Violation] = []
+    text = str(log)
+    transactions = list(log.transactions.values())
+    if not transactions:
+        return violations
+    for n_shards in shards:
+        service = TransactionService(k=2, n_shards=n_shards, protocol="mvmt")
+        service.submit_programs(transactions)
+        report = service.run(schedule=log)
+        scheduler = service.scheduler
+        tag = f"mvcc[shards={n_shards}]"
+        overlap = report.committed & report.failed
+        if overlap:
+            violations.append(
+                Violation(
+                    "mvcc-overlap",
+                    text,
+                    f"{tag} committed and failed overlap: {sorted(overlap)}",
+                )
+            )
+        read_aborts = getattr(scheduler, "mv_read_aborts", 0)
+        if read_aborts:
+            violations.append(
+                Violation(
+                    "mvcc-read-aborts",
+                    text,
+                    f"{tag} counted {read_aborts} read-induced aborts; "
+                    "MVMT reads must be abort-free",
+                )
+            )
+        committed = report.committed
+        executed = sorted(
+            (reader, item, source)
+            for reader, item, source in scheduler.reads_from()
+            if reader in committed
+        )
+        order = [
+            t for t in scheduler.serialization_order() if t in committed
+        ]
+        expected = sorted(
+            serial_reads_from(report.committed_log, order)
+        )
+        if executed != expected:
+            violations.append(
+                Violation(
+                    "mvcc-equivalence",
+                    text,
+                    f"{tag} executed reads-from differs from the serial "
+                    f"replay of the committed projection in order {order}",
                 )
             )
     return violations
@@ -747,6 +838,9 @@ class FuzzConfig:
     #: Also run the ``recovery-equivalence``/``recovery-dsr`` rules per
     #: case (durable logs + fault-plan retries per shard count; opt-in).
     recovery: bool = False
+    #: Also run the ``mvcc-*`` rules per case (a multiversion pipeline
+    #: run per shard count plus a serial replay; opt-in).
+    mvcc: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -760,6 +854,7 @@ class FuzzConfig:
             "shards": list(self.shards),
             "parallel": self.parallel,
             "recovery": self.recovery,
+            "mvcc": self.mvcc,
         }
 
 
@@ -831,6 +926,7 @@ def shrink_case(
     shards: tuple[int, ...] = DEFAULT_SHARDS,
     check_parallel: bool = False,
     check_recovery: bool = False,
+    check_mvcc: bool = False,
 ) -> Log:
     """ddmin a failing log down to a 1-minimal operation subsequence that
     still violates *rule* (through the same full :func:`check_case`)."""
@@ -846,6 +942,7 @@ def shrink_case(
                 oracle=oracle,
                 check_parallel=check_parallel,
                 check_recovery=check_recovery,
+                check_mvcc=check_mvcc,
                 shards=shards,
             )
         )
@@ -878,6 +975,7 @@ def run_fuzz(
             oracle=oracle,
             check_parallel=config.parallel,
             check_recovery=config.recovery,
+            check_mvcc=config.mvcc,
             shards=config.shards,
         )
         report.cases += 1
@@ -896,6 +994,7 @@ def run_fuzz(
                     shards=config.shards,
                     check_parallel=config.parallel,
                     check_recovery=config.recovery,
+                    check_mvcc=config.mvcc,
                 )
                 if config.shrink
                 else log

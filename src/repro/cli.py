@@ -181,7 +181,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ]
     print(
         render_table(
-            ["scenario", "ops/s", "aborts", "restarts", "visits", "wall_ms"],
+            ["scenario", "txn/s", "aborts", "restarts", "visits", "wall_ms"],
             rows,
             title=(
                 f"bench ({'quick' if args.quick else 'full'} mode, "
@@ -263,6 +263,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             shards=tuple(args.shards),
             parallel=args.check_parallel,
             recovery=args.check_recovery,
+            mvcc=args.check_mvcc,
         )
         report = run_fuzz(config, progress=fuzz_progress)
         counterexample_report = report
@@ -449,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
         "no-fault runs must be bit-identical to workers=0, and every "
         "crashed-and-recovered run (random fault plans per case) must "
         "equal the fault-free run with a DSR committed projection",
+    )
+    p_check.add_argument(
+        "--check-mvcc",
+        action="store_true",
+        help="also fuzz the multiversion pipeline: protocol='mvmt' runs "
+        "at every shard count must commit a view-equivalent projection "
+        "(reads-from equals the serial replay in the scheduler's own "
+        "serialization order) with zero read-induced aborts",
     )
     p_check.add_argument(
         "--limit",

@@ -404,6 +404,7 @@ class MTkScheduler(Instrumented, Scheduler):
             for history in (*self._readers.values(), *self._writers.values())
             for txn in history
         }
+        barrier = self._reclaim_barrier()
         candidates = set(self.committed)
         if include_aborted:
             candidates |= self.aborted
@@ -413,6 +414,8 @@ class MTkScheduler(Instrumented, Scheduler):
                 continue
             if txn in in_history:
                 continue  # may still be needed as an abort-restore target
+            if txn in barrier:
+                continue  # still referenced outside the RT/WT indices
             if not self.table.is_referenced(txn):
                 self.table.reclaim(txn)
                 self._successors.pop(txn, None)
@@ -420,6 +423,14 @@ class MTkScheduler(Instrumented, Scheduler):
                 self._seeded.discard(txn)
                 reclaimed += 1
         return reclaimed
+
+    def _reclaim_barrier(self) -> set[int]:
+        """Rows a protocol subclass still references outside the
+        ``RT``/``WT`` indices and access histories (MVMT(k)'s version
+        chains); :meth:`reclaim_committed` must not free them — the next
+        :meth:`TimestampTable.vector` call would silently recreate an
+        all-undefined row and corrupt later comparisons."""
+        return set()
 
     def _prune_histories(self) -> None:
         """Drop access-history entries older than the newest *committed*

@@ -6,11 +6,13 @@ timestamp vectors."  This module is that extension — multiversion
 timestamp ordering where the timestamps are MT(k)'s dynamically assigned
 vectors:
 
-* **Reads never abort.**  A read of ``x`` first tries to order itself
-  after the newest version's writer (the MT(k) ``Set`` move, keeping the
-  read as fresh as possible); failing that, it reads the newest *older*
-  version whose writer is already below it.  Either way the read is
-  recorded against the version it saw.
+* **Reads never abort.**  A read of ``x`` is resolved by the *pure*
+  :class:`~repro.core.mvcc.VisibilityEngine` against the item's version
+  chain: walking newest to oldest, skip writers already above the
+  reader; the first writer below it (or pinned below it now, for an
+  incomparable pair — a ``Set`` move that always succeeds) owns the
+  version to read.  Either way the read is recorded against the version
+  it saw.
 * **Writes validate against recorded reads.**  A write by ``T_i`` must
   order after the newest writer, and must not slide a new version in
   between a recorded (version writer, reader) pair — a reader above
@@ -19,153 +21,476 @@ vectors:
   *below* it on the spot (another dynamic-encoding move unavailable to
   scalar multiversion TO).
 
+The scheduler is now split per Bohm's prescription: the visibility
+engine (``core/mvcc.py``) makes pure logical-ordering decisions and the
+*installation* side here applies the returned pins through the MT(k)
+``Set`` machinery, appends versions, and maintains ``RT``/``WT``.  The
+split makes "reads are abort-free" structural — a read resolution either
+names a version (plus at most one always-satisfiable pin) or trips the
+defensively-counted ``mv_read_aborts`` path that the conformance fuzzer
+pins at zero.
+
 Serialization remains the topological order of the vectors; the executed
-reads-from relation equals that of the serial replay in that order (a
-property test asserts view equivalence end to end).
+reads-from relation equals that of the serial replay in that order (the
+``mvcc-equivalence`` fuzz rule and frozen ``mvmt_*`` corpus entries
+assert view equivalence and bit-identity with the pre-split scheduler).
+
+:class:`MultiversionMixin` carries the behaviour so it composes with
+either base: :class:`MVMTkScheduler` (over plain MT(k), full constructor
+surface — counters/encoding/decision-core — so the parallel shard plane
+can host it) and :class:`MVDMTkScheduler` (over DMT(k), where
+decentralized visibility shrinks the per-operation lock set to the item
+record and the issuing transaction: versions are resolved against the
+local chain, with **no** cross-shard critical section on remote
+reader/writer vectors).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any, Iterable
 
 from ..model.operations import Operation
+from .distributed import DMTkScheduler, ObjectId
 from .mtk import MTkScheduler
+from .mvcc import ReaderCheck, VersionChain, VisibilityEngine
 from .protocol import Decision, DecisionStatus
 from .table import VIRTUAL_TXN
-from .timestamp import Ordering, compare
+from .timestamp import Ordering
 
 
-class MVMTkScheduler(MTkScheduler):
-    """Multiversion MT(k): vector-timestamped versions, abort-free reads."""
+class MultiversionMixin:
+    """III-D-6d behaviour over any MT(k)-family base scheduler."""
 
-    def __init__(self, k: int, trace: bool = False) -> None:
-        super().__init__(k, read_rule="none", trace=trace)
-        self.name = f"MVMT({k})"
-
-    def reset(self) -> None:
-        super().reset()
-        #: accepted writers per item, in acceptance (= vector) order; the
-        #: virtual T0 wrote the initial version of everything.
-        self._version_writers: dict[str, list[int]] = {}
-        #: recorded reads per item: (reader, writer of the version read).
-        self._version_reads: dict[str, list[tuple[int, int]]] = {}
+    def __init__(
+        self, *args: Any, commit_aware: bool = False, **kwargs: Any
+    ) -> None:
+        #: Live-execution policy switch.  With a commit oracle the read
+        #: walk detours around unordered *uncommitted* writers (pinning
+        #: the reader below them) so commit dependencies only arise when
+        #: the serialization order forces them.  That is an executor
+        #: policy, not part of the accepted-log class: ``accepts()``
+        #: replays a log with no commit events at all, so the oracle
+        #: would see every writer as uncommitted and shrink the class.
+        #: The pipeline opts in; the checker matrix keeps the default.
+        self.commit_aware = commit_aware
+        super().__init__(*args, **kwargs)
 
     # ------------------------------------------------------------------
-    def _chain(self, item: str) -> list[int]:
-        return self._version_writers.setdefault(item, [VIRTUAL_TXN])
+    def reset(self) -> None:
+        super().reset()
+        #: per-item version chains (the T0 base version included) — the
+        #: one representation shared with the storage layer.
+        self._chains: dict[str, VersionChain] = {}
+        # Rebuilt every reset so the pure engine can never compare
+        # against a stale table (the PR-1 ``reset()`` bug family: state
+        # bound to a table the reset just threw away).  When the
+        # ``commit_aware`` opt-in is set, the commit oracle makes the
+        # read walk skip unordered uncommitted writers (reader pinned
+        # below them) instead of dirty-reading, so commit dependencies
+        # only arise when the serialization order already forces them.
+        self.visibility = VisibilityEngine(
+            self._ordering_of,
+            self._is_committed if self.commit_aware else None,
+        )
+        #: defensive counter — abort-free reads by construction, so this
+        #: staying zero is an invariant the fuzzer checks.
+        self.mv_read_aborts = 0
+        #: GC-horizon aborts ("snapshot too old"): a reader ordered
+        #: strictly below a truncated chain's oldest retained version.
+        #: Kept separate from mv_read_aborts — it is a documented GC
+        #: trade-off, not a visibility bug: adjacency encodes can
+        #: serialize a transaction into already-reclaimed history after
+        #: collection ran.  The windowed plane ships the coordinator's
+        #: global active set with every gc command and keeps a one-
+        #: version grace margin to make this rare, not impossible.
+        self.mv_horizon_aborts = 0
+        self.chain_versions_reclaimed = 0
+        self.read_records_reclaimed = 0
 
+    def _ordering_of(self, a: int, b: int) -> Ordering:
+        """The pure comparison oracle handed to the visibility engine —
+        reads ``self.table`` at call time, never caches a table ref."""
+        return self.table.compare_vectors(
+            self.table.vector(a), self.table.vector(b)
+        ).ordering
+
+    def _is_committed(self, txn: int) -> bool:
+        """The commit oracle handed to the visibility engine (live set
+        lookup — windowed engines learn commits from the broadcast
+        command stream, so every replica answers identically)."""
+        return txn in self.committed
+
+    def _chain(self, item: str) -> VersionChain:
+        chain = self._chains.get(item)
+        if chain is None:
+            chain = self._chains[item] = VersionChain()
+        return chain
+
+    def _note_successor(self, j: int, i: int) -> None:
+        """Record ``T_i`` ordered after ``T_j`` (the bookkeeping
+        ``_set_less`` performs; needed when the order already held and no
+        ``Set`` call was spent confirming it)."""
+        if j == i:
+            return
+        successors = self._successors.get(j)
+        if successors is None:
+            self._successors[j] = {i}
+        else:
+            successors.add(i)
+
+    # ------------------------------------------------------------------
+    # Scheduling: visibility decides, this layer installs
+    # ------------------------------------------------------------------
     def _process_read(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
-        writers = self._chain(x)
-        newest = writers[-1]
-        outcome = self._set_less(newest, i, x)
-        if outcome.ok:
-            source = newest
-        else:
-            source = self._latest_version_below(writers, i)
-            if source is None:
+        chain = self._chain(x)
+        while True:
+            resolution = self.visibility.resolve_read(chain, i, x)
+            if resolution is None or not resolution.skip:
+                break
+            # Commit-aware detour: order the reader below the unordered
+            # *uncommitted* writer and resolve again — the pin is
+            # applied eagerly so the re-walk compares fresh vectors.
+            # Each detour leaves that writer strictly above the reader
+            # (the next walk passes it as GREATER), and an untruncated
+            # chain floors at T0, so the loop terminates.
+            writer, pin_item = resolution.pin
+            if not self._set_less(i, writer, pin_item).ok:  # pragma: no cover
+                self.mv_read_aborts += 1
+                return self._abort(op, blocking=writer)
+        if resolution is None:
+            if chain.versions[0].writer != VIRTUAL_TXN:
+                # GC truncated the chain and this reader is ordered
+                # strictly below the oldest retained version — the
+                # classic "snapshot too old" horizon abort.
+                self.mv_horizon_aborts += 1
+            else:
                 # Nothing readable below T_i (possible only for vectors
-                # driven below the virtual transaction) — genuine abort.
-                return self._abort(op, blocking=newest)
-        self._version_reads.setdefault(x, []).append((i, source))
-        self.table.set_rt(x, self._max_reader(x))
+                # driven below the virtual transaction) — genuine abort,
+                # counted so the abort-free-reads invariant is checkable.
+                self.mv_read_aborts += 1
+            return self._abort(op, blocking=chain.newest)
+        if resolution.pin is not None:
+            writer, pin_item = resolution.pin
+            if not self._set_less(writer, i, pin_item).ok:  # pragma: no cover
+                self.mv_read_aborts += 1
+                return self._abort(op, blocking=writer)
+        elif resolution.fresh:
+            self._note_successor(resolution.source, i)
+        chain.record_read(i, resolution.source)
+        self.table.set_rt(x, self._note_reader(chain, i))
         self._record_access(op)
-        reason = "" if source == newest else f"read-old-version:T{source}"
+        reason = (
+            ""
+            if resolution.fresh
+            else f"read-old-version:T{resolution.source}"
+        )
         return Decision(DecisionStatus.ACCEPT, op, reason)
 
     def _process_write(self, op: Operation) -> Decision:
         i, x = op.txn, op.item
-        writers = self._chain(x)
-        newest = writers[-1]
-        outcome = self._set_less(newest, i, x)
-        if not outcome.ok:
-            return self._abort(op, blocking=newest)
-        for reader, source in list(self._version_reads.get(x, ())):
+        chain = self._chain(x)
+        placement = self.visibility.resolve_write(chain, i, x)
+        if not placement.ok:
+            return self._abort(op, blocking=placement.blocking)
+        if placement.pin is not None:
+            writer, pin_item = placement.pin
+            if not self._set_less(writer, i, pin_item).ok:  # pragma: no cover
+                return self._abort(op, blocking=writer)
+        else:
+            self._note_successor(placement.blocking, i)
+        for reader, source in list(chain.reads):
             if reader == i:
                 continue
-            ts_reader = self.table.vector(reader)
-            ts_i = self.table.vector(i)
-            ordering = compare(ts_reader, ts_i).ordering
-            if ordering is Ordering.LESS:
-                continue  # reader is below the new version: unaffected
-            if ordering is Ordering.GREATER:
-                # Reader above T_i: the version it read must also be
-                # above T_i, else the new version invalidates the read.
-                source_order = compare(
-                    self.table.vector(source), ts_i
-                ).ordering
-                if source_order is not Ordering.GREATER:
-                    return self._abort(op, blocking=reader)
-                continue
-            # Not yet ordered: put the reader below the new version (a
-            # dynamic-encoding move; always succeeds on =/? vectors).
-            if not self._set_less(reader, i, x).ok:  # pragma: no cover
+            check = self.visibility.classify_reader(reader, source, i)
+            if check is ReaderCheck.INVALIDATED:
                 return self._abort(op, blocking=reader)
-        if writers[-1] != i:  # a repeat write just refreshes the version
-            writers.append(i)
+            if check is ReaderCheck.PIN_BELOW:
+                if not self._set_less(reader, i, x).ok:  # pragma: no cover
+                    return self._abort(op, blocking=reader)
+        chain.install(i)
         self.table.set_wt(x, i)
         self._record_access(op)
         return Decision(DecisionStatus.ACCEPT, op)
 
     # ------------------------------------------------------------------
-    def _latest_version_below(self, writers: list[int], txn: int) -> int | None:
-        """The version the reader must see: walking newest to oldest, skip
-        writers already *above* the reader; the first writer below it — or
-        not yet ordered against it, in which case the order is encoded now
-        (leaving it open would let the serialization slide the writer in
-        front of the reader later) — owns the version to read."""
-        ts_txn = self.table.vector(txn)
-        for writer in reversed(writers):
-            if writer == txn:
-                return writer  # a transaction always sees its own version
-            ordering = compare(self.table.vector(writer), ts_txn).ordering
-            if ordering is Ordering.GREATER:
-                continue
-            if ordering is Ordering.LESS:
-                return writer
-            # Incomparable (=/?) — commit to writer-before-reader.
-            if self._set_less(writer, txn, None).ok:
-                return writer
-            return None  # pragma: no cover - =/? encodes always succeed
-        return None
-
     def _max_reader(self, item: str) -> int:
         return self._maximal(
-            [reader for reader, _ in self._version_reads.get(item, ())]
+            [reader for reader, _ in self._chain(item).reads]
         )
 
-    # ------------------------------------------------------------------
+    def _note_reader(self, chain: VersionChain, i: int) -> int:
+        """Incremental ``RT`` maintenance: fold the new reader into the
+        chain's cached maximal reader with a single comparison instead of
+        rescanning every recorded read (which made ``RT`` upkeep the
+        scheduler's single hottest path under contention).  ``RT`` is an
+        index hint here — multiversion decisions are made against the
+        chain, never against ``RT``/``WT`` — so the cache only needs to
+        be *a* maximal reader, recomputed from scratch whenever read
+        records were dropped (``rt_hint`` invalidation)."""
+        hint = chain.rt_hint
+        if hint is None:
+            rt = self._maximal([reader for reader, _ in chain.reads])
+        elif hint == i:
+            rt = hint
+        else:
+            rt = self._maximal([hint, i])
+        chain.rt_hint = rt
+        return rt
+
     def _undo_indices(self, txn: int) -> None:
         """Aborting a transaction also retracts its versions and recorded
         reads — a lingering aborted version would be served to future
-        readers.  (Readers that already consumed an aborted version are a
-        cascading-abort scenario; run the scheduler with the executor's
-        ``write_policy="deferred"`` to rule it out, per VI-C 2.)"""
+        readers.  (Readers that already consumed an aborted version are
+        the cascading-abort scenario: the executor tracks them as commit
+        dependencies — see :meth:`commit_dependencies` — parking them at
+        commit and cascade-restarting them here; ``write_policy=
+        "deferred"`` rules the cascade out entirely, per VI-C 2.)"""
         super()._undo_indices(txn)
-        for reads in self._version_reads.values():
-            reads[:] = [(r, s) for r, s in reads if r != txn]
-        for chain in self._version_writers.values():
-            chain[:] = [w for w in chain if w != txn] or [VIRTUAL_TXN]
+        for chain in self._chains.values():
+            chain.retract(txn)
 
+    def prune_aborted(self, txn: int) -> int:
+        """Explicitly retract an aborted transaction's chain entries (the
+        executor's restart/abort hook; idempotent with the automatic
+        retraction in :meth:`_undo_indices`)."""
+        return sum(
+            chain.retract(txn) for chain in self._chains.values()
+        )
+
+    def cascade_restart(self, txn: int) -> None:
+        """Roll back a transaction this scheduler never rejected (the
+        executor's cascade: a version *txn* read was just retracted, or
+        *txn* is the victim breaking a commit-dependency cycle).  Mirrors
+        the reject path's bookkeeping — RT/WT index repoints plus chain
+        retraction via :meth:`_undo_indices`, then a vector flush so the
+        fresh attempt starts clean — without marking *txn* aborted."""
+        self._undo_indices(txn)
+        self.table.vector(txn).flush()
+        self._c_restarts.inc()
+        if self.events.enabled:
+            self.events.emit("cascade_restart", txn=txn)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (III-D-6a/b extended to version chains)
+    # ------------------------------------------------------------------
+    def collect_chain_garbage(
+        self, extra_active: Iterable[int] = (), grace: int = 0
+    ) -> tuple[int, int]:
+        """Reclaim chain versions and read records dead under the
+        per-item watermark (the newest committed version with no
+        non-committed transaction ordered strictly below it); see
+        ``core/mvcc.py``.  Returns ``(versions_reclaimed,
+        reads_reclaimed)``.
+
+        *extra_active* widens the active set with transactions this
+        table has not seen yet — the parallel plane's coordinator ships
+        its global in-flight set, since a transaction that has drawn
+        elements at another shard can be ordered below a local watermark
+        candidate without having a local row."""
+        # "Active" = could still issue an operation whose visibility walk
+        # depends on its current vector: everything not committed, except
+        # aborted transactions that were *not* anti-starvation-seeded —
+        # their restart flushes the vector, so they re-enter as fresh
+        # (all-undefined) readers that pin against the watermark instead
+        # of walking past it.  Seeded aborts keep their re-seeded vector
+        # and must keep blocking the watermark.
+        active_set = {
+            t
+            for t in self.table.known_txns()
+            if t != VIRTUAL_TXN
+            and t not in self.committed
+            and not (t in self.aborted and t not in self._seeded)
+        }
+        for t in extra_active:
+            if t != VIRTUAL_TXN and t not in self.committed:
+                active_set.add(t)
+        active = sorted(active_set)
+
+        def is_committed(txn: int) -> bool:
+            return txn == VIRTUAL_TXN or txn in self.committed
+
+        def settled(writer: int) -> bool:
+            # A version can only be read *past* by a transaction ordered
+            # strictly above its writer (the newest-first walk skips
+            # GREATER writers); anything merely incomparable pins the
+            # writer below itself and stops.  So the watermark needs no
+            # active transaction strictly below it — not the (far
+            # stronger, rarely attainable) "below every active".
+            vec = self.table.vector(writer)
+            for txn in active:
+                if txn == writer:
+                    continue
+                ordering = self.table.compare_vectors(
+                    vec, self.table.vector(txn)
+                ).ordering
+                if ordering is Ordering.GREATER:
+                    return False
+            return True
+
+        def strictly_below(a: int, b: int) -> bool:
+            return (
+                self.table.compare_vectors(
+                    self.table.vector(a), self.table.vector(b)
+                ).ordering
+                is Ordering.LESS
+            )
+
+        versions = reads = 0
+        for chain in self._chains.values():
+            got_versions, got_reads = chain.collect(
+                is_committed, settled, strictly_below, grace=grace
+            )
+            versions += got_versions
+            reads += got_reads
+        self.chain_versions_reclaimed += versions
+        self.read_records_reclaimed += reads
+        return versions, reads
+
+    def _reclaim_barrier(self) -> set[int]:
+        """Rows the chains still reference must survive row reclamation:
+        the base class only checks ``RT``/``WT``, but reclaiming a chain
+        writer's row would make later visibility walks compare against a
+        recreated all-undefined vector."""
+        barrier: set[int] = set()
+        for chain in self._chains.values():
+            barrier |= chain.referenced_txns()
+        return barrier
+
+    def reclaim_committed(self, include_aborted: bool = False) -> int:
+        """Chain GC first (shrinking the reference barrier), then the
+        base row reclamation — the III-D-6a/b hook, now also bounding the
+        version chains by the active-transaction low-watermark."""
+        self.collect_chain_garbage()
+        return super().reclaim_committed(include_aborted)
+
+    # ------------------------------------------------------------------
+    # Oracle surface
     # ------------------------------------------------------------------
     def reads_from(self) -> list[tuple[int, str, int]]:
         """The executed reads-from relation: (reader, item, version
         writer), with ``0`` standing for the initial version."""
         relation = []
-        for item, reads in self._version_reads.items():
-            for reader, source in reads:
+        for item, chain in self._chains.items():
+            for reader, source in chain.reads:
                 relation.append((reader, item, source))
         return relation
 
     def version_chain(self, item: str) -> list[int]:
         """Writers of *item*'s versions, oldest first (T0 included)."""
-        return list(self._chain(item))
+        return self._chain(item).writers()
 
     def read_source(self, txn: int, item: str) -> int | None:
         """Which version (by writer id) the latest accepted read of *item*
-        by *txn* saw — the hook an application uses to fetch the matching
-        value from a :class:`~repro.storage.versioned.MultiversionStore`."""
-        for reader, source in reversed(self._version_reads.get(item, ())):
+        by *txn* saw — the hook the storage layer uses to serve the
+        matching value from a shared chain."""
+        for reader, source in reversed(self._chain(item).reads):
             if reader == txn:
                 return source
         return None
+
+    def chains(self) -> dict[str, VersionChain]:
+        """Live chain objects (shared with a bound storage layer)."""
+        return self._chains
+
+    # ------------------------------------------------------------------
+    # Recoverability surface (commit dependencies)
+    # ------------------------------------------------------------------
+    def commit_dependencies(self, txn: int) -> set[int]:
+        """Uncommitted version writers *txn* has read from.
+
+        Reads are abort-free by construction, which means a read can
+        consume an *uncommitted* version — committing such a reader
+        before its source commits is a dirty read the serial replay
+        cannot reproduce (the source may still abort).  The executor
+        therefore parks a finished transaction until this set drains:
+        sources commit (park released) or roll back (reader cascades)."""
+        deps: set[int] = set()
+        committed = self.committed
+        for chain in self._chains.values():
+            if not chain.touched(txn):
+                continue
+            for reader, source in chain.reads:
+                if (
+                    reader == txn
+                    and source != VIRTUAL_TXN
+                    and source != txn
+                    and source not in committed
+                ):
+                    deps.add(source)
+        return deps
+
+    def readers_of(self, txn: int) -> set[int]:
+        """Transactions holding a read record sourced from *txn*'s
+        versions.  When *txn* rolls back, these readers consumed a
+        version that no longer exists: the executor cascade-restarts the
+        uncommitted ones (committed ones cannot exist — they were gated
+        on *txn* committing first)."""
+        readers: set[int] = set()
+        for chain in self._chains.values():
+            if not chain.touched(txn):
+                continue
+            for reader, source in chain.reads:
+                if source == txn and reader != txn:
+                    readers.add(reader)
+        return readers
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        self.metrics.set_gauge("mv_read_aborts", self.mv_read_aborts)
+        self.metrics.set_gauge("mv_horizon_aborts", self.mv_horizon_aborts)
+        self.metrics.set_gauge(
+            "chain_versions_reclaimed", self.chain_versions_reclaimed
+        )
+        self.metrics.set_gauge(
+            "read_records_reclaimed", self.read_records_reclaimed
+        )
+        self.metrics.set_gauge(
+            "max_chain_length",
+            max((len(c) for c in self._chains.values()), default=1),
+        )
+        return super().metrics_snapshot()
+
+
+class MVMTkScheduler(MultiversionMixin, MTkScheduler):
+    """Multiversion MT(k): vector-timestamped versions, abort-free reads.
+
+    Accepts the full MT(k) constructor surface (site-tagged counters,
+    encoding policies, the vectorized decision core, anti-starvation) so
+    the parallel shard plane can host it like any other engine;
+    ``read_rule`` is forced to ``"none"`` — the multiversion read path
+    replaces the lines 9-10 fallback wholesale.
+    """
+
+    def __init__(self, k: int, trace: bool = False, **kwargs: Any) -> None:
+        kwargs["read_rule"] = "none"
+        super().__init__(k, trace=trace, **kwargs)
+        self.name = f"MVMT({k})"
+
+
+class MVDMTkScheduler(MultiversionMixin, DMTkScheduler):
+    """Decentralized multiversion MT(k): DMT(k)'s sites and message
+    accounting, but visibility is decided against the item's local chain
+    — so an operation locks only the item record and the issuing
+    transaction's vector.  The remote reader/writer vectors the
+    single-version protocol must fetch-and-lock are not needed: there is
+    no cross-shard critical section on visibility, which is the entire
+    point of decentralizing MVCC.
+    """
+
+    def __init__(self, k: int, **kwargs: Any) -> None:
+        kwargs["read_rule"] = "none"
+        num_sites = kwargs.get("num_sites", 3)
+        super().__init__(k, **kwargs)
+        self.name = f"MVDMT({k})x{num_sites}"
+
+    def _objects_for(self, op: Operation) -> list[ObjectId]:
+        """Decentralized visibility needs only the item's chain (home of
+        the item) and the issuing transaction's vector; pins on other
+        vectors are encoded through the item's home site without locking
+        the remote rows first (they are applied, not negotiated)."""
+        objects: set[ObjectId] = {
+            ("item", op.item),
+            ("vec", op.txn),
+        }
+        return sorted(objects, key=lambda o: (o[0], str(o[1])))

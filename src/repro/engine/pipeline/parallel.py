@@ -155,16 +155,30 @@ class ShardEngine:
         read_rule: str,
         decision_core: str,
         anti_starvation: bool = False,
+        protocol: str = "mtk",
     ) -> None:
         self.shard_id = shard_id
-        self.scheduler = MTkScheduler(
-            k,
-            read_rule=read_rule,
+        self.multiversion = protocol == "mvmt"
+        shared = dict(
             counters=SiteTaggedCounters(shard_id),
             encoding=_JoiningEncoding(),
             decision_core=decision_core,
             anti_starvation=anti_starvation,
         )
+        if self.multiversion:
+            from ...core.multiversion import MVMTkScheduler
+
+            # Items are routed to their owning shard, so an item's whole
+            # version chain lives (and is decided) here — decentralized
+            # visibility needs no chain shipping, only the vector rows
+            # the extras column of the reply index names.
+            self.scheduler: MTkScheduler = MVMTkScheduler(
+                k, commit_aware=True, **shared
+            )
+        else:
+            self.scheduler = MTkScheduler(
+                k, read_rule=read_rule, **shared
+            )
         self.primed = 0
         self._exported: dict[int, int] = {}
         self._dirty_rows: set[int] = set()
@@ -218,6 +232,38 @@ class ShardEngine:
             self.reset()
             return
         scheduler = self.scheduler
+        if kind == "gc":
+            # Coordinator-driven chain collection: ships fresh row
+            # snapshots plus the *global* in-flight set.  A transaction
+            # that drew elements at another shard can be ordered below a
+            # local watermark candidate without ever having batched here,
+            # so engine-local active sets alone would over-collect (and
+            # surface as "snapshot too old" horizon aborts).  Riding the
+            # broadcast command stream keeps collection bit-identical
+            # across worker counts.
+            if self.multiversion:
+                _kind, rows, active_ids, top = command
+                if rows:
+                    self.apply_rows(rows)
+                # Lamport join before collecting: future element draws
+                # at this site must land above everything the retained
+                # history keeps, or a fresh transaction drawing from a
+                # lagging site counter materializes *below* the settled
+                # watermark and takes a spurious "snapshot too old"
+                # abort (site counters are only locally monotone).  The
+                # coordinator computes *top* over every row it has ever
+                # merged — committed watermark writers included, whose
+                # rows this engine may never have seen.
+                if top is not None:
+                    scheduler.table.counters.ensure_above((top, 0))
+                # grace=1 keeps one version below the watermark: most
+                # horizon aborts come from a restarted reader pinned
+                # adjacently (±1 encode) just below the newest settled
+                # writer, and one spare version absorbs that case (~70%
+                # fewer "snapshot too old" restarts for ~14% less
+                # reclamation on the windowed mixes).
+                scheduler.collect_chain_garbage(active_ids, grace=1)
+            return
         txn = command[1]
         if kind == "commit":
             scheduler.commit(txn)
@@ -245,11 +291,13 @@ class ShardEngine:
     # ------------------------------------------------------------------
     def run_batch(
         self, batch: Sequence[tuple[int, int, int, str]]
-    ) -> tuple[tuple[int, int], ...]:
-        """Decide one shard batch locally; returns ``(seq, code)`` pairs."""
+    ) -> tuple[tuple, ...]:
+        """Decide one shard batch locally; returns ``(seq, code)`` pairs
+        (mvmt accepted reads carry a third column: the version writer the
+        read consumed, for coordinator-side commit-dependency gating)."""
         scheduler = self.scheduler
         table = scheduler.table
-        decisions: list[tuple[int, int]] = []
+        decisions: list[tuple] = []
         rejected: set[int] = set()
         if scheduler.wants_priming and len(batch) > 1:
             self.primed += scheduler.prime_batch(
@@ -258,6 +306,7 @@ class ShardEngine:
         dirty_rows = self._dirty_rows
         dirty_items = self._dirty_items
         touched_map = scheduler._touched
+        chains = scheduler.chains() if self.multiversion else None
         for seq, txn, kind_code, item in batch:
             if txn in rejected:
                 decisions.append((seq, CODE_SKIP))
@@ -290,6 +339,27 @@ class ShardEngine:
                 dirty_rows.add(txn)
                 if prior_touched:
                     dirty_items.update(prior_touched)
+            if chains is not None:
+                # Multiversion pins may have written into any chain
+                # writer's or recorded reader's row (reader pins on an
+                # incomparable version, write-read PIN_BELOW moves) —
+                # export whichever actually changed (version-checked at
+                # collect, so over-approximating is free).
+                chain = chains.get(item)
+                if chain is not None:
+                    dirty_rows.update(chain.referenced_txns())
+            if chains is not None and kind_code == 0 and code == CODE_ACCEPT:
+                # mvmt reads report which version writer they consumed as
+                # a third column: the coordinator gates the reader's
+                # commit on that writer committing (recoverability — a
+                # read can consume an uncommitted version).  Plain MT(k)
+                # keeps 2-tuples so its wire format — and the frozen
+                # recovery corpus riding it — is byte-identical.
+                source = scheduler.read_source(txn, item)
+                decisions.append(
+                    (seq, code, VIRTUAL_TXN if source is None else source)
+                )
+                continue
             decisions.append((seq, code))
         return tuple(decisions)
 
@@ -298,7 +368,8 @@ class ShardEngine:
     ) -> tuple[tuple, tuple, tuple]:
         """Drain dirty rows/items into a reply payload (sorted, so the
         message bytes are deterministic)."""
-        table = self.scheduler.table
+        scheduler = self.scheduler
+        table = scheduler.table
         exported = self._exported
         rows: list[tuple[int, tuple]] = []
         for txn in sorted(self._dirty_rows):
@@ -306,13 +377,49 @@ class ShardEngine:
             if row.version != exported.get(txn, 0):
                 rows.append((txn, row.snapshot()))
                 exported[txn] = row.version
-        index = tuple(
-            (item, table.rt(item), table.wt(item))
-            for item in sorted(self._dirty_items)
-        )
+        if self.multiversion:
+            # 4-tuple index entries: the extras column names every row
+            # the item's chain still references (version writers and
+            # recorded readers), which is exactly the conflict row-set a
+            # local visibility decision may read or pin — the planner
+            # claims them and the shipment planner replicates them.
+            # (Plain MT(k) keeps 3-tuples so its wire format — and the
+            # frozen recovery corpus riding it — is byte-identical.)
+            chains = scheduler.chains()
+            index: tuple = tuple(
+                (
+                    item,
+                    table.rt(item),
+                    table.wt(item),
+                    tuple(sorted(chain.referenced_txns()))
+                    if (chain := chains.get(item)) is not None
+                    else (),
+                )
+                for item in sorted(self._dirty_items)
+            )
+        else:
+            index = tuple(
+                (item, table.rt(item), table.wt(item))
+                for item in sorted(self._dirty_items)
+            )
         self._dirty_rows.clear()
         self._dirty_items.clear()
-        stats = (table.element_visits, self.primed, table.decision_core)
+        stats: tuple = (
+            table.element_visits, self.primed, table.decision_core,
+        )
+        if self.multiversion:
+            stats += (
+                (
+                    scheduler.mv_read_aborts,
+                    scheduler.mv_horizon_aborts,
+                    scheduler.chain_versions_reclaimed,
+                    scheduler.read_records_reclaimed,
+                    max(
+                        (len(c) for c in scheduler.chains().values()),
+                        default=1,
+                    ),
+                ),
+            )
         return tuple(rows), index, stats
 
 
@@ -324,12 +431,17 @@ class _WorkerHost:
     message stream, which is what makes them bit-identical."""
 
     def __init__(
-        self, shard_ids: Sequence[int], config: tuple[int, str, str, bool]
+        self, shard_ids: Sequence[int], config: tuple
     ) -> None:
-        k, read_rule, decision_core, anti_starvation = config
+        # config = (k, read_rule, decision_core, anti_starvation[,
+        # protocol]); the short form predates the mvmt protocol and is
+        # still accepted so recovery logs written by older runs replay.
+        k, read_rule, decision_core, anti_starvation = config[:4]
+        protocol = config[4] if len(config) > 4 else "mtk"
         self.engines = {
             shard_id: ShardEngine(
-                shard_id, k, read_rule, decision_core, anti_starvation
+                shard_id, k, read_rule, decision_core, anti_starvation,
+                protocol=protocol,
             )
             for shard_id in shard_ids
         }
@@ -574,7 +686,10 @@ class ParallelShardSet:
             raise ValueError("router and spec disagree on shard count")
         self.decision_core = core
         self.shards = [Shard(index) for index in range(spec.n_shards)]
-        self._config = (spec.k, spec.read_rule, core, spec.anti_starvation)
+        self._config = (
+            spec.k, spec.read_rule, core, spec.anti_starvation,
+            spec.protocol,
+        )
         self._start_method = start_method
         self._timeout = timeout
         hosts = max(1, self.workers)
@@ -598,7 +713,13 @@ class ParallelShardSet:
             shard: {} for shard in range(spec.n_shards)
         }
         self._item_index: dict[str, tuple[int, int]] = {}
+        # mvmt only: item -> rows its chain references (extras column of
+        # the 4-tuple reply index); always empty under plain MT(k).
+        self._item_extras: dict[str, tuple[int, ...]] = {}
         self._engine_stats: dict[int, tuple] = {}
+        # mvmt only: seq -> version writer the window's accepted reads
+        # consumed (third decision column); refreshed per run_window.
+        self.window_sources: dict[int, int] = {}
         self.ipc = self._fresh_ipc()
 
     @staticmethod
@@ -627,7 +748,9 @@ class ParallelShardSet:
         for have in self._have.values():
             have.clear()
         self._item_index.clear()
+        self._item_extras.clear()
         self._engine_stats.clear()
+        self.window_sources.clear()
         for shard in self.shards:
             shard.clear()
         self.ipc = self._fresh_ipc()
@@ -670,6 +793,47 @@ class ParallelShardSet:
         reply (fresh items default to the virtual T0)."""
         return self._item_index.get(item, (VIRTUAL_TXN, VIRTUAL_TXN))
 
+    def item_refs(self, item: str) -> tuple[int, ...]:
+        """Extra conflict rows a multiversion decision on *item* may
+        touch (its chain's writers and recorded readers, per the last
+        reply); always empty under plain MT(k)."""
+        return self._item_extras.get(item, ())
+
+    def gc_command(self, active_ids: Iterable[int]) -> tuple:
+        """Build a ``("gc", rows, active_ids)`` broadcast: fresh row
+        snapshots for every in-flight transaction the coordinator holds,
+        plus the global in-flight set itself.  Engines collect chain
+        garbage against *that* active set instead of their local one — a
+        transaction that only ever batched at another shard would
+        otherwise be invisible to the local watermark and its snapshot
+        reclaimed ("snapshot too old").
+
+        Deliberately does NOT advance the ``_have`` shipped-row
+        watermarks: the recovery plane replans aborted 2PC windows from
+        those watermarks, and a gc broadcast must not make a replica
+        look fresher than the next replan assumes.
+
+        The fourth field is the highest element counter across every row
+        the coordinator has merged (committed writers included): engines
+        Lamport-join their site counter above it so post-GC element
+        draws can never materialize below a settled watermark."""
+        ids = tuple(sorted(set(active_ids)))
+        store = self._store
+        rows = tuple(
+            (txn, store[txn][1]) for txn in ids if txn in store
+        )
+        top: int | None = None
+        for _version, values in store.values():
+            for element in values:
+                if element is None:
+                    continue
+                counter = (
+                    element[0] if isinstance(element, tuple) else element
+                )
+                if top is None or counter > top:
+                    top = counter
+        return ("gc", rows, ids, top)
+
     def note_drop(self, txn: int) -> None:
         """Invalidate a restarted/dropped transaction's stored row *now*
         (before the command is delivered): every replica flushes it on
@@ -695,6 +859,7 @@ class ParallelShardSet:
         for have in self._have.values():
             have.clear()
         self._item_index.clear()
+        self._item_extras.clear()
 
     # ------------------------------------------------------------------
     # The windowed protocol
@@ -713,6 +878,7 @@ class ParallelShardSet:
         """
         if self._transport is None:
             raise RuntimeError("call begin_run() before run_window()")
+        self.window_sources.clear()
         commands = self._absorb_commands(commands)
         involved = self._involved(batches, commands)
         if not involved:
@@ -804,16 +970,22 @@ class ParallelShardSet:
             for shard_id, shard_decisions, rows, index, stats in replies[
                 worker_id
             ]:
-                for seq, code in shard_decisions:
+                for entry in shard_decisions:
+                    seq, code = entry[0], entry[1]
                     decisions[seq] = code
+                    if len(entry) > 2:  # mvmt read: version writer read
+                        self.window_sources[seq] = entry[2]
                 have = self._have[shard_id]
                 for txn, values in rows:
                     entry = store.get(txn)
                     version = (entry[0] + 1) if entry is not None else 1
                     store[txn] = (version, values)
                     have[txn] = version
-                for item, rt, wt in index:
+                for entry in index:
+                    item, rt, wt = entry[0], entry[1], entry[2]
                     self._item_index[item] = (rt, wt)
+                    if len(entry) > 3:  # mvmt: chain-referenced rows
+                        self._item_extras[item] = tuple(entry[3])
                 self._engine_stats[shard_id] = stats
         return decisions
 
@@ -838,11 +1010,16 @@ class ParallelShardSet:
             return (), {}
         need: set[int] = set()
         index = self._item_index
+        extras = self._item_extras
         for _seq, txn, _kind, item in batch:
             rt, wt = index.get(item, (VIRTUAL_TXN, VIRTUAL_TXN))
             need.add(txn)
             need.add(rt)
             need.add(wt)
+            # mvmt: a visibility decision walks the whole chain and the
+            # recorded reads, so every row they reference must be as
+            # fresh as the coordinator knows it.
+            need.update(extras.get(item, ()))
         store = self._store
         have = self._have[shard_id]
         rows: list[tuple[int, tuple]] = []
@@ -930,8 +1107,32 @@ class ParallelShardSet:
     def snapshot(self) -> list[dict[str, Any]]:
         return [shard.snapshot() for shard in self.shards]
 
+    def mvcc_stats(self) -> dict[str, int] | None:
+        """Aggregated multiversion gauges across engines (``None`` when
+        no engine runs the mvmt protocol)."""
+        reported = [
+            stats[3]
+            for stats in self._engine_stats.values()
+            if len(stats) > 3
+        ]
+        if not reported:
+            return None
+        return {
+            "mv_read_aborts": sum(s[0] for s in reported),
+            "mv_horizon_aborts": sum(s[1] for s in reported),
+            "chain_versions_reclaimed": sum(s[2] for s in reported),
+            "read_records_reclaimed": sum(s[3] for s in reported),
+            "max_chain_length": max(s[4] for s in reported),
+        }
+
     def stage_snapshot(self) -> dict[str, Any]:
         cores = self.decision_cores()
+        mvcc = self.mvcc_stats()
+        if mvcc is not None:
+            return {**self._stage_snapshot_base(cores), "mvcc": mvcc}
+        return self._stage_snapshot_base(cores)
+
+    def _stage_snapshot_base(self, cores: dict[int, str]) -> dict[str, Any]:
         return {
             "workers": self.workers,
             "window": self.window,

@@ -40,6 +40,7 @@ fully determines the ``ExecutionReport`` (see the determinism tests).
 from __future__ import annotations
 
 from random import Random
+from time import perf_counter
 from typing import Any, Mapping, Sequence
 
 from ...core.protocol import Decision, DecisionStatus, Scheduler
@@ -105,6 +106,7 @@ class PipelineExecutor(Instrumented):
         transport: str = "pipe",
         fault_plan: Any | None = None,
         state_dir: str | None = None,
+        op_service_time: float = 0.0,
     ) -> None:
         if write_policy not in ("immediate", "deferred"):
             raise ValueError("write_policy must be 'immediate' or 'deferred'")
@@ -128,9 +130,18 @@ class PipelineExecutor(Instrumented):
                 "fault injection requires the recoverable transports "
                 "('loopback' or 'tcp')"
             )
+        if op_service_time < 0:
+            raise ValueError("op_service_time must be non-negative")
         self.scheduler = scheduler
         self.database = database if database is not None else Database()
         self.max_attempts = max_attempts
+        #: Simulated data-access service time charged per executed
+        #: operation (the Agrawal–Carey–Livny resource model: in a real
+        #: system the data access, not the scheduler, dominates op cost,
+        #: so restarted work burns real resources).  Zero — the default —
+        #: charges nothing; benchmarks opt in to compare protocols on
+        #: useful work per unit of simulated resource.
+        self.op_service_time = float(op_service_time)
         self.write_policy = write_policy
         self.rollback = rollback
         self._retry_policy = resolve_policy(retry_policy)
@@ -210,6 +221,9 @@ class PipelineExecutor(Instrumented):
                 "global_restarts",
                 "admission_waits",
                 "retries_delayed",
+                "commit_parks",
+                "cascade_restarts",
+                "dependency_cycle_restarts",
             ),
         )
         # Pre-bound Counter objects for the per-operation and abort hot
@@ -221,6 +235,13 @@ class PipelineExecutor(Instrumented):
         self._c_restarts = self.metrics.counter("restarts")
         self._c_undo_ops = self.metrics.counter("undo_ops")
         self._c_ops_reexecuted = self.metrics.counter("ops_reexecuted")
+        # Commit-dependency state (multiversion recoverability); rebuilt
+        # per execute() — declared here so helpers stay callable between
+        # runs.
+        self._parked: dict[int, set[int]] = {}
+        self._txn_sources: dict[int, set[int]] = {}
+        self._releasing = False
+        self._states: dict[int, _TxnState] = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -257,6 +278,12 @@ class PipelineExecutor(Instrumented):
         report = ExecutionReport()
         states = {t.txn_id: _TxnState(t) for t in transactions}
         self._states = states
+        # Commit-dependency state (multiversion recoverability): finished
+        # transactions parked on uncommitted version writers they read,
+        # and (windowed lane) the sources accumulated from reply streams.
+        self._parked = {}
+        self._txn_sources = {}
+        self._releasing = False
         # Speculative batch priming: only when the scheduler runs the
         # vectorized core (checked after reset(), which rebuilds the
         # table and thus decides python vs numpy).
@@ -317,27 +344,38 @@ class PipelineExecutor(Instrumented):
         prime = self._prime
         next_prime = 0
         pointer = 0
-        while pointer < len(queue):
-            if prime is not None and pointer >= next_prime:
-                window = queue[pointer : pointer + self.prime_window]
-                prime(self._window_requests(window, states, committed, failed))
-                next_prime = pointer + max(1, len(window))
-            txn_id = queue[pointer]
-            pointer += 1
-            state = states[txn_id]
-            if txn_id in failed or txn_id in committed:
-                continue
-            if state.position >= state.txn.num_operations:
-                continue
-            op = state.txn.operations[state.position]
-            before = len(queue)
-            finished = self._step(state, op, undo, report, queue)
-            if finished:
-                self._try_commit(state, undo, report, queue)
-            if len(queue) != before:
-                # The queue only grows on (cold) retry paths; record the
-                # live depth there so stage metrics stay exact.
-                admission.note_depth(len(queue) - pointer)
+        while True:
+            while pointer < len(queue):
+                if prime is not None and pointer >= next_prime:
+                    window = queue[pointer : pointer + self.prime_window]
+                    prime(
+                        self._window_requests(window, states, committed, failed)
+                    )
+                    next_prime = pointer + max(1, len(window))
+                txn_id = queue[pointer]
+                pointer += 1
+                state = states[txn_id]
+                if txn_id in failed or txn_id in committed:
+                    continue
+                if state.position >= state.txn.num_operations:
+                    continue
+                op = state.txn.operations[state.position]
+                before = len(queue)
+                finished = self._step(state, op, undo, report, queue)
+                if finished:
+                    self._try_commit(state, undo, report, queue)
+                if len(queue) != before:
+                    # The queue only grows on (cold) retry paths; record
+                    # the live depth there so stage metrics stay exact.
+                    admission.note_depth(len(queue) - pointer)
+            if not self._parked:
+                break
+            # Commit-dependency cycle: every remaining transaction waits
+            # on another parked reader (cross-reads of uncommitted
+            # versions).  Deterministic victim — the lowest id rolls
+            # back; its cascade unparks the rest and the retries land
+            # back on the queue.
+            self._break_dependency_cycle(undo, report, queue)
 
     def _run_staged(
         self,
@@ -355,6 +393,13 @@ class PipelineExecutor(Instrumented):
         while True:
             txn_id = admission.pop()
             if txn_id is None:
+                if self._parked:
+                    # Commit-dependency cycle (see _run_plain): restart
+                    # the lowest parked id and keep draining.
+                    self._break_dependency_cycle(
+                        undo, report, admission
+                    )
+                    continue
                 break
             if prime is not None:
                 if countdown <= 0:
@@ -428,19 +473,48 @@ class PipelineExecutor(Instrumented):
                 op = state.txn.operations[position]
                 shard = router.shard_of_item(op.item)
                 rt, wt = plane.item_index(op.item)
-                if (
+                conflict = (
                     row_owner.get(txn_id, shard) != shard
                     or row_owner.get(rt, shard) != shard
                     or row_owner.get(wt, shard) != shard
-                ):
+                )
+                # mvmt: visibility may pin any row the item's chain
+                # references (writers and recorded readers), so the
+                # window's single-writing-shard invariant must claim
+                # them all; always empty under plain MT(k).
+                refs = plane.item_refs(op.item)
+                if not conflict and refs:
+                    conflict = any(
+                        row_owner.get(row, shard) != shard for row in refs
+                    )
+                if conflict:
                     carried = txn_id
                     break
                 row_owner[txn_id] = shard
                 row_owner[rt] = shard
                 row_owner[wt] = shard
+                for row in refs:
+                    row_owner[row] = shard
                 planned[txn_id] = position + 1
                 entries.append((len(entries), txn_id, op, shard))
             if not entries:
+                if self._parked:
+                    # Admission drained but parked readers remain: a
+                    # commit-dependency cycle (see _run_plain).  Restart
+                    # the lowest id; its retries re-enter admission, and
+                    # a sync round delivers the restart commands before
+                    # the next window is planned.
+                    victim = min(self._parked)
+                    self.metrics.inc("dependency_cycle_restarts")
+                    if self.events.enabled:
+                        self.events.emit("dependency_cycle", victim=victim)
+                    self._windowed_abort(
+                        states[victim], undo, report, admission, pending
+                    )
+                    if pending:
+                        plane.run_window({}, tuple(pending))
+                        pending.clear()
+                    continue
                 # Run over; trailing commands (commits after the last
                 # window) need no delivery — begin_run() resets engines.
                 break
@@ -479,10 +553,11 @@ class PipelineExecutor(Instrumented):
                         )
                         epoch_reset = True
                         continue
-                    rejected_now.add(txn_id)
                     repoints = True
-                    self._windowed_abort(
-                        state, undo, report, admission, pending
+                    rejected_now.update(
+                        self._windowed_abort(
+                            state, undo, report, admission, pending
+                        )
                     )
                     continue
                 plane.record(shard, op, code)
@@ -490,11 +565,46 @@ class PipelineExecutor(Instrumented):
                     report.ignored_writes += 1
                     self._c_ignored_writes.inc()
                 else:
+                    if op.kind.is_read:
+                        # mvmt: the reply's third decision column names
+                        # the version writer this read consumed — a
+                        # commit dependency when that writer is still
+                        # in flight (recoverability gate below).
+                        source = plane.window_sources.get(seq)
+                        if source and source != txn_id:
+                            self._txn_sources.setdefault(
+                                txn_id, set()
+                            ).add(source)
                     self._perform(op, undo, report)
                     state.executed_this_attempt += 1
                 state.position += 1
                 if state.position >= state.txn.num_operations:
-                    self._windowed_commit(state, undo, report, pending)
+                    rolled = self._windowed_try_commit(
+                        state, undo, report, admission, pending
+                    )
+                    if rolled:
+                        repoints = True
+                        rejected_now.update(rolled)
+            if (
+                not epoch_reset
+                and plane.spec.protocol == "mvmt"
+                and any(cmd[0] == "commit" for cmd in pending)
+            ):
+                # Chain GC rides the broadcast command stream whenever a
+                # commit could have advanced a per-item watermark.  The
+                # coordinator supplies the *global* in-flight set (plus
+                # fresh row snapshots): an engine's local active set
+                # misses transactions that never batched at its shard,
+                # and collecting against it alone would reclaim versions
+                # those readers still need ("snapshot too old").
+                active = [
+                    t
+                    for t, s in states.items()
+                    if t not in committed
+                    and t not in failed
+                    and s.position > 0
+                ]
+                pending.append(plane.gc_command(active))
             if repoints:
                 # Sync round: rejects repointed RT/WT at the rejecting
                 # engines; deliver the restart/drop commands now so every
@@ -510,10 +620,21 @@ class PipelineExecutor(Instrumented):
         report: ExecutionReport,
         admission: AdmissionQueue,
         pending: list[tuple],
-    ) -> None:
+        _wave: set[int] | None = None,
+        count_attempt: bool = True,
+    ) -> set[int]:
         """Full-rollback abort for the windowed lane (the only rollback
-        mode the plane supports); mirrors ``_handle_abort``."""
+        mode the plane supports); mirrors ``_handle_abort`` /
+        ``_full_rollback``, cascading to uncommitted readers of the
+        retracted versions — cascades don't charge the victim's attempt
+        budget (see ``_full_rollback``).  Returns every transaction
+        rolled back in this wave (the merge loop skips their remaining
+        window entries)."""
+        rolled = _wave if _wave is not None else set()
         txn_id = state.txn.txn_id
+        if txn_id in rolled:
+            return rolled
+        rolled.add(txn_id)
         undone = undo.rollback(txn_id)
         report.undo_count += undone
         self._c_undo_ops.inc(undone)
@@ -523,23 +644,99 @@ class PipelineExecutor(Instrumented):
         state.buffered_writes.clear()
         state.position = 0
         state.executed_this_attempt = 0
+        self._parked.pop(txn_id, None)
+        # The coordinator's accumulated sources stand in for the remote
+        # schedulers' read records: dependents are readers that consumed
+        # one of txn_id's (now retracted) versions.
+        self._txn_sources.pop(txn_id, None)
+        dependents = sorted(
+            reader
+            for reader, sources in self._txn_sources.items()
+            if txn_id in sources
+        )
+        self._prune_aborted(txn_id)
         plane = self.parallel_plane
         assert plane is not None
         plane.note_drop(txn_id)
-        if state.attempt >= self.max_attempts:
+        if count_attempt and state.attempt >= self.max_attempts:
             report.failed.add(txn_id)
             self.metrics.inc("failures")
             if self.events.enabled:
                 self.events.emit("fail", txn=txn_id, attempts=state.attempt)
             pending.append(("drop", txn_id))
-            return
-        state.attempt += 1
-        report.restarts += 1
-        self._c_restarts.inc()
-        if self.events.enabled:
-            self.events.emit("restart", txn=txn_id, partial=False)
-        pending.append(("restart", txn_id))
-        admission.requeue(txn_id, state.txn.num_operations, state.attempt)
+        else:
+            if count_attempt:
+                state.attempt += 1
+            report.restarts += 1
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=False)
+            pending.append(("restart", txn_id))
+            admission.requeue(txn_id, state.txn.num_operations, state.attempt)
+        for reader in dependents:
+            if (
+                reader in rolled
+                or reader in report.committed
+                or reader in report.failed
+            ):
+                continue
+            reader_state = self._states.get(reader)
+            if reader_state is None:
+                continue
+            self.metrics.inc("cascade_restarts")
+            if self.events.enabled:
+                self.events.emit("cascade", txn=reader, source=txn_id)
+            self._windowed_abort(
+                reader_state, undo, report, admission, pending, rolled,
+                count_attempt=False,
+            )
+        return rolled
+
+    def _windowed_try_commit(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        admission: AdmissionQueue,
+        pending: list[tuple],
+    ) -> set[int]:
+        """Recoverability gate for the windowed lane: park a finished
+        transaction whose reads consumed still-uncommitted versions (the
+        sources accumulated from the reply streams), commit otherwise —
+        then release any parked readers the commit unblocked.  Returns
+        the rolled-back wave when a source can never commit (mirrors
+        ``_try_commit``'s gate; normally empty)."""
+        txn_id = state.txn.txn_id
+        committed = report.committed
+        deps = {
+            s
+            for s in self._txn_sources.get(txn_id, ())
+            if s not in committed
+        }
+        if deps:
+            if deps & report.failed:
+                return self._windowed_abort(
+                    state, undo, report, admission, pending
+                )
+            self._parked[txn_id] = deps
+            self.metrics.inc("commit_parks")
+            if self.events.enabled:
+                self.events.emit("park", txn=txn_id, deps=sorted(deps))
+            return set()
+        self._windowed_commit(state, undo, report, pending)
+        self._txn_sources.pop(txn_id, None)
+        while True:
+            ready = [
+                t
+                for t in sorted(self._parked)
+                if not any(s not in committed for s in self._parked[t])
+            ]
+            if not ready:
+                return set()
+            for t in ready:
+                del self._parked[t]
+                self._windowed_commit(self._states[t], undo, report, pending)
+                self._txn_sources.pop(t, None)
 
     def _windowed_commit(
         self,
@@ -578,6 +775,10 @@ class PipelineExecutor(Instrumented):
             self.events.emit("global_restart")
         pending.append(("reset",))
         plane.note_reset()
+        # Epoch reset flushes every chain: parked readers roll back with
+        # everyone else below, so their dependency state goes with them.
+        self._parked.clear()
+        self._txn_sources.clear()
         for state in self._states.values():
             txn_id = state.txn.txn_id
             if txn_id in report.committed or txn_id in report.failed:
@@ -593,6 +794,7 @@ class PipelineExecutor(Instrumented):
             state.buffered_writes.clear()
             state.position = 0
             state.executed_this_attempt = 0
+            self._prune_aborted(txn_id)
             if state.attempt >= self.max_attempts:
                 report.failed.add(txn_id)
                 self.metrics.inc("failures")
@@ -683,6 +885,13 @@ class PipelineExecutor(Instrumented):
     def _perform(
         self, op: Operation, undo: UndoLog, report: ExecutionReport
     ) -> None:
+        if self.op_service_time:
+            # Busy-wait, not sleep: sub-millisecond sleeps are at the
+            # mercy of the OS timer slack, and the charge must be paid
+            # by this worker's wall clock to model an occupied resource.
+            deadline = perf_counter() + self.op_service_time
+            while perf_counter() < deadline:
+                pass
         if op.kind.is_read:
             self.database.read(op.item)
         else:
@@ -701,6 +910,22 @@ class PipelineExecutor(Instrumented):
         queue: Any,
     ) -> None:
         txn_id = state.txn.txn_id
+        # Recoverability gate: a multiversion read may have consumed an
+        # *uncommitted* version (reads are abort-free by construction).
+        # Committing now would be a dirty read the serial replay cannot
+        # reproduce — park until every source commits; if a source rolls
+        # back instead, the cascade restarts this transaction.
+        deps = self._commit_dependencies(txn_id)
+        if deps:
+            if deps & report.failed:
+                # A source can never commit: the read is unrecoverable.
+                self._handle_abort(state, undo, report, queue)
+                return
+            self._parked[txn_id] = deps
+            self.metrics.inc("commit_parks")
+            if self.events.enabled:
+                self.events.emit("park", txn=txn_id, deps=sorted(deps))
+            return
         # Deferred writes (VI-C 2): first run every buffered write through
         # the scheduler (no data moves yet), then validate, then apply — so
         # an abort at any stage costs no undo.
@@ -736,6 +961,46 @@ class PipelineExecutor(Instrumented):
         commit = getattr(self.scheduler, "commit", None)
         if callable(commit):
             commit(txn_id)
+        self._release_parked(undo, report, queue)
+
+    def _commit_dependencies(self, txn_id: int) -> set[int]:
+        """Uncommitted version writers *txn_id* read from (empty for
+        single-version schedulers — the gate is a no-op there)."""
+        fn = getattr(self.scheduler, "commit_dependencies", None)
+        if fn is None:
+            return set()
+        return fn(txn_id)
+
+    def _release_parked(
+        self, undo: UndoLog, report: ExecutionReport, queue: Any
+    ) -> None:
+        """Commit parked transactions whose dependencies have drained.
+
+        A release can itself commit (draining further dependencies) or
+        abort (a buffered write finally rejected → rollback → cascade),
+        so iterate to a fixpoint; the re-entrancy guard keeps the nested
+        ``_try_commit`` calls from stacking release loops."""
+        if self._releasing or not self._parked:
+            return
+        self._releasing = True
+        try:
+            while True:
+                ready = [
+                    t
+                    for t in sorted(self._parked)
+                    if not self._commit_dependencies(t)
+                ]
+                progressed = False
+                for t in ready:
+                    if t not in self._parked or self._commit_dependencies(t):
+                        continue  # a sibling release/abort intervened
+                    del self._parked[t]
+                    self._try_commit(self._states[t], undo, report, queue)
+                    progressed = True
+                if not progressed:
+                    return
+        finally:
+            self._releasing = False
 
     def _handle_abort(
         self,
@@ -764,7 +1029,32 @@ class PipelineExecutor(Instrumented):
             # epoch reset (extracted from the composite-forced path).
             self._global_restart(undo, report, queue)
             return
-        # Full rollback: undo writes, discard the attempt, retry or fail.
+        self._full_rollback(state, undo, report, queue)
+
+    def _full_rollback(
+        self,
+        state: _TxnState,
+        undo: UndoLog,
+        report: ExecutionReport,
+        queue: Any,
+        _wave: set[int] | None = None,
+        count_attempt: bool = True,
+    ) -> set[int]:
+        """Full rollback: undo writes, discard the attempt, retry or
+        fail — then cascade to uncommitted readers of the retracted
+        versions (their reads now dangle; a committed reader cannot
+        exist, the commit-dependency gate held it back).  Returns every
+        transaction rolled back in this wave.
+
+        Cascaded rollbacks don't charge the victim's attempt budget —
+        the conflict evidence belongs to the *source*, whose own aborts
+        stay attempt-counted (which bounds the storm): an innocent
+        reader must not fail because a neighbour thrashed."""
+        rolled = _wave if _wave is not None else set()
+        txn_id = state.txn.txn_id
+        if txn_id in rolled:
+            return rolled
+        rolled.add(txn_id)
         undone = undo.rollback(txn_id)
         report.undo_count += undone
         self._c_undo_ops.inc(undone)
@@ -774,21 +1064,96 @@ class PipelineExecutor(Instrumented):
         state.buffered_writes.clear()
         state.position = 0
         state.executed_this_attempt = 0
-        if state.attempt >= self.max_attempts:
+        self._parked.pop(txn_id, None)
+        dependents = self._dependents_of(txn_id)
+        self._prune_aborted(txn_id)
+        if count_attempt and state.attempt >= self.max_attempts:
             report.failed.add(txn_id)
             self.metrics.inc("failures")
             if self.events.enabled:
                 self.events.emit("fail", txn=txn_id, attempts=state.attempt)
-            return
-        state.attempt += 1
-        report.restarts += 1
-        self._c_restarts.inc()
+            aborted = getattr(self.scheduler, "aborted", None)
+            if aborted is not None and txn_id not in aborted:
+                # Cascade-failed: the scheduler never rejected it, so no
+                # _abort undid its RT/WT index pins — do it now (a dead
+                # transaction must not stay any item's indexed accessor).
+                forced = getattr(self.scheduler, "cascade_restart", None)
+                if callable(forced):
+                    forced(txn_id)
+        else:
+            if count_attempt:
+                state.attempt += 1
+            report.restarts += 1
+            self._c_restarts.inc()
+            if self.events.enabled:
+                self.events.emit("restart", txn=txn_id, partial=False)
+            restart = getattr(self.scheduler, "restart", None)
+            if callable(restart):
+                aborted = getattr(self.scheduler, "aborted", None)
+                if aborted is None or txn_id in aborted:
+                    restart(txn_id)
+                else:
+                    # Cascade / cycle victim: the scheduler never
+                    # rejected this transaction, so restart() would balk
+                    # — roll its scheduler state back directly.
+                    forced = getattr(self.scheduler, "cascade_restart", None)
+                    if callable(forced):
+                        forced(txn_id)
+            self._requeue_retry(state, queue)
+        for reader in sorted(dependents):
+            if (
+                reader in rolled
+                or reader in report.committed
+                or reader in report.failed
+            ):
+                continue
+            reader_state = self._states.get(reader)
+            if reader_state is None:
+                continue
+            self.metrics.inc("cascade_restarts")
+            if self.events.enabled:
+                self.events.emit("cascade", txn=reader, source=txn_id)
+            self._full_rollback(
+                reader_state, undo, report, queue, rolled,
+                count_attempt=False,
+            )
+        return rolled
+
+    def _break_dependency_cycle(
+        self, undo: UndoLog, report: ExecutionReport, queue: Any
+    ) -> None:
+        """The work queue drained but parked transactions remain: every
+        one of them waits on another parked reader (a commit-dependency
+        cycle, reachable via cross-reads of uncommitted versions).
+        Restart a deterministic victim — the lowest id — whose cascade
+        unparks the rest."""
+        victim = min(self._parked)
+        self.metrics.inc("dependency_cycle_restarts")
         if self.events.enabled:
-            self.events.emit("restart", txn=txn_id, partial=False)
-        restart = getattr(self.scheduler, "restart", None)
-        if callable(restart):
-            restart(txn_id)
-        self._requeue_retry(state, queue)
+            self.events.emit("dependency_cycle", victim=victim)
+        self._full_rollback(self._states[victim], undo, report, queue)
+
+    def _dependents_of(self, txn_id: int) -> set[int]:
+        """Active transactions holding a read sourced from *txn_id* (the
+        multiversion scheduler's recorded readers; empty otherwise)."""
+        fn = getattr(self.scheduler, "readers_of", None)
+        if fn is None:
+            return set()
+        return fn(txn_id)
+
+    def _prune_aborted(self, txn_id: int) -> None:
+        """Retract an aborted attempt's versions from every chain holder.
+
+        The multiversion scheduler retracts its own chains inside
+        ``_abort`` (this re-prune is idempotent), but a chain-carrying
+        database (:class:`~repro.storage.versioned.MultiversionStore`)
+        whose chains are *not* shared with the scheduler has no undo log
+        — without this hook an aborted writer's versions would linger and
+        be served to later readers."""
+        for holder in (self.scheduler, self.database):
+            prune = getattr(holder, "prune_aborted", None)
+            if callable(prune):
+                prune(txn_id)
 
     def _requeue_retry(self, state: _TxnState, queue: Any) -> None:
         """Readmit a fully-rolled-back transaction through the retry
@@ -804,6 +1169,10 @@ class PipelineExecutor(Instrumented):
         self, undo: UndoLog, report: ExecutionReport, queue: Any
     ) -> None:
         self.scheduler.reset()
+        # Epoch reset flushes every chain: parked readers roll back with
+        # everyone else below, so their dependency state goes with them.
+        self._parked.clear()
+        self._txn_sources.clear()
         self._c_aborts.inc()
         self.metrics.inc("global_restarts")
         if self.events.enabled:
@@ -823,6 +1192,7 @@ class PipelineExecutor(Instrumented):
             state.buffered_writes.clear()
             state.position = 0
             state.executed_this_attempt = 0
+            self._prune_aborted(txn_id)
             if state.attempt >= self.max_attempts:
                 report.failed.add(txn_id)
                 self.metrics.inc("failures")

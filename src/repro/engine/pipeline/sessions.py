@@ -125,6 +125,7 @@ class TransactionService:
         k: int = 2,
         n_shards: int = 1,
         read_rule: str = "line9",
+        protocol: str = "mtk",
         retain_locks: bool = False,
         sync_interval: int | None = None,
         router: ShardRouter | None = None,
@@ -149,6 +150,7 @@ class TransactionService:
             n_shards=n_shards,
             k=k,
             read_rule=read_rule,
+            protocol=protocol,
             retain_locks=retain_locks,
             sync_interval=sync_interval,
             decision_core=decision_core,

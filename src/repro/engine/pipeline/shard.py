@@ -38,6 +38,10 @@ class ShardSpec:
     n_shards: int = 1
     k: int = 2
     read_rule: str = "line9"
+    #: scheduler family: "mtk" (single-version MT(k)/DMT(k)) or "mvmt"
+    #: (the III-D-6d multiversion rebuild — version chains, abort-free
+    #: reads, decentralized per-shard visibility).
+    protocol: str = "mtk"
     #: DMT(k) lock-retention optimization (end of Section V-B).
     retain_locks: bool = False
     #: periodic cross-shard counter synchronization (V-B 1b fairness).
@@ -58,6 +62,8 @@ class ShardSpec:
             raise ValueError("k must be at least 1")
         if self.decision_core not in ("python", "numpy"):
             raise ValueError("decision_core must be 'python' or 'numpy'")
+        if self.protocol not in ("mtk", "mvmt"):
+            raise ValueError("protocol must be 'mtk' or 'mvmt'")
 
 
 @dataclass
@@ -123,7 +129,17 @@ class ShardSet:
         self.scheduler = self._build_scheduler()
 
     def _build_scheduler(self) -> Scheduler:
+        multiversion = self.spec.protocol == "mvmt"
         if self.spec.n_shards == 1:
+            if multiversion:
+                from ...core.multiversion import MVMTkScheduler
+
+                return MVMTkScheduler(
+                    self.spec.k,
+                    decision_core=self.spec.decision_core,
+                    anti_starvation=self.spec.anti_starvation,
+                    commit_aware=True,
+                )
             from ...core.mtk import MTkScheduler
 
             return MTkScheduler(
@@ -132,18 +148,25 @@ class ShardSet:
                 decision_core=self.spec.decision_core,
                 anti_starvation=self.spec.anti_starvation,
             )
-        from ...core.distributed import DMTkScheduler
-
-        return DMTkScheduler(
-            self.spec.k,
+        shared = dict(
             num_sites=self.spec.n_shards,
             site_of_item=self.router.shard_of_item,
             site_of_txn=self.router.shard_of_txn,
-            read_rule=self.spec.read_rule,
             retain_locks=self.spec.retain_locks,
             sync_interval=self.spec.sync_interval,
             decision_core=self.spec.decision_core,
             anti_starvation=self.spec.anti_starvation,
+        )
+        if multiversion:
+            from ...core.multiversion import MVDMTkScheduler
+
+            return MVDMTkScheduler(
+                self.spec.k, commit_aware=True, **shared
+            )
+        from ...core.distributed import DMTkScheduler
+
+        return DMTkScheduler(
+            self.spec.k, read_rule=self.spec.read_rule, **shared
         )
 
     # ------------------------------------------------------------------

@@ -28,11 +28,16 @@ results into one machine-readable ``BENCH_repro.json``:
       }
     }
 
-Schema v2 (this PR) adds the per-stage ``stages`` block — admission
-queue counters always, per-shard occupancy when the scenario runs the
-sharded pipeline.  Consumers (``compare_payloads``, the CI perf-smoke
-job) accept both v1 and v2 payloads, so an old committed baseline still
-gates a new run.
+Schema v2 added the per-stage ``stages`` block — admission queue
+counters always, per-shard occupancy when the scenario runs the sharded
+pipeline.  Schema v3 redefines ``throughput`` as *committed
+transactions per second* (TPS — the standard measure of useful work for
+a concurrency-control comparison; the old executed-ops rate rewarded
+restart churn) and keeps the ops-based rate as ``ops_rate``.
+Multiversion scenarios additionally report ``mv_read_aborts`` /
+``mv_horizon_aborts``.  Consumers (``compare_payloads``, the CI
+perf-smoke job) accept v1–v3 payloads, so an old committed baseline
+still gates a new run.
 
 Every subsequent performance PR regenerates this file and diffs it
 against the committed baseline, so "as fast as the hardware allows" has a
@@ -51,10 +56,10 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 #: Version tag of the JSON schema below; bump on breaking changes.
-SCHEMA = "repro-bench/v2"
+SCHEMA = "repro-bench/v3"
 
 #: Schemas :func:`validate_payload` accepts (old baselines stay usable).
-ACCEPTED_SCHEMAS = ("repro-bench/v1", "repro-bench/v2")
+ACCEPTED_SCHEMAS = ("repro-bench/v1", "repro-bench/v2", "repro-bench/v3")
 
 #: Keys every scenario result must carry (the regression contract).
 REQUIRED_RESULT_KEYS = (
@@ -263,6 +268,81 @@ def _default_scenarios() -> dict[str, Scenario]:
             executor_kwargs=executor_kwargs,
         )
 
+    # ------------------------------------------------------------------
+    # MVCC contention family: MVMT(3) vs MT(3) vs 2PL on the regimes the
+    # multiversion protocol targets — read-mostly traffic over a hot
+    # working set (III-D-6d).  All six run the Agrawal–Carey–Livny
+    # resource model (``op_service_time``: every executed operation,
+    # including work thrown away by a restart, charges 150µs of
+    # simulated data access) with retry-until-done attempts, so the v3
+    # TPS throughput measures useful work per unit of resource rather
+    # than scheduler CPU.  MVMT must win throughput AND aborts with
+    # ``mv_read_aborts == 0``; the frozen BENCH baseline records it.
+    mv_hotspot = dict(
+        num_txns=60, ops_per_txn=6, num_items=24, write_ratio=0.2, skew=0.8
+    )
+    mv_zipf = dict(
+        num_txns=60, ops_per_txn=6, num_items=24, write_ratio=0.3, skew=1.1
+    )
+    service_model = dict(op_service_time=150e-6)
+
+    def _mv_scenario(name: str, description: str, factory, spec) -> Scenario:
+        return Scenario(
+            name,
+            description,
+            factory,
+            spec,
+            max_attempts=100,
+            check_serializable=False,
+            executor_kwargs=service_model,
+            timed_repeats=1,
+            warmup=False,
+        )
+
+    scenarios += [
+        _mv_scenario(
+            "mvmt3_hotspot",
+            "MVMT(3) on the read-mostly hotspot: abort-free reads, "
+            "commit-aware visibility (III-D-6d)",
+            lambda: MVMTkScheduler(
+                3, anti_starvation=True, commit_aware=True
+            ),
+            mv_hotspot,
+        ),
+        _mv_scenario(
+            "mt3_hotspot_svc",
+            "MT(3) control for mvmt3_hotspot (same stream, same model)",
+            lambda: MTkScheduler(3, anti_starvation=True),
+            mv_hotspot,
+        ),
+        _mv_scenario(
+            "two_pl_hotspot_svc",
+            "strict 2PL control for mvmt3_hotspot (deadlock-abort "
+            "livelock under the hot set)",
+            lambda: StrictTwoPLScheduler(),
+            mv_hotspot,
+        ),
+        _mv_scenario(
+            "mvmt3_zipf",
+            "MVMT(3) on the Zipf(1.1) hot-key stream (III-D-6d)",
+            lambda: MVMTkScheduler(
+                3, anti_starvation=True, commit_aware=True
+            ),
+            mv_zipf,
+        ),
+        _mv_scenario(
+            "mt3_zipf_svc",
+            "MT(3) control for mvmt3_zipf (same stream, same model)",
+            lambda: MTkScheduler(3, anti_starvation=True),
+            mv_zipf,
+        ),
+        _mv_scenario(
+            "two_pl_zipf_svc",
+            "strict 2PL control for mvmt3_zipf",
+            lambda: StrictTwoPLScheduler(),
+            mv_zipf,
+        ),
+    ]
     scenarios += [
         _zipf_scenario(
             "zipf_open_mt3",
@@ -505,6 +585,11 @@ def _run_seed_for(
         "failed": len(report.failed),
         "stages": stages,
     }
+    if hasattr(scheduler, "mv_read_aborts"):
+        # Multiversion invariant surface: read-induced aborts must stay
+        # zero (abort-free reads); horizon aborts record the GC trade-off.
+        result["mv_read_aborts"] = scheduler.mv_read_aborts
+        result["mv_horizon_aborts"] = scheduler.mv_horizon_aborts
     table = getattr(scheduler, "table", None)
     if table is not None and getattr(table, "decision_core", "python") == "numpy":
         result["batch_core"] = table.core_info()
@@ -663,12 +748,20 @@ def _aggregate(
     result: dict[str, Any] = {
         "description": scenario.description,
         "seeds": len(per_seed),
-        "throughput": round(totals["ops_executed"] / wall_s, 1)
+        # v3: throughput is committed transactions per second (useful
+        # work).  The executed-ops rate stays available as ops_rate.
+        "throughput": round(totals["committed"] / wall_s, 1)
+        if wall_s > 0
+        else 0.0,
+        "ops_rate": round(totals["ops_executed"] / wall_s, 1)
         if wall_s > 0
         else 0.0,
         "wall_ms": round(wall_s * 1000.0, 3),
         **totals,
     }
+    for key in ("mv_read_aborts", "mv_horizon_aborts"):
+        if any(key in cell for cell in per_seed):
+            result[key] = sum(cell.get(key, 0) for cell in per_seed)
     stages = _merge_stages(per_seed)
     if stages is not None:
         result["stages"] = stages

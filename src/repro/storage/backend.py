@@ -100,35 +100,60 @@ class WALBackend(Database):
 class VersionedBackend:
     """Append-only version chains behind the flat protocol surface.
 
-    Each item holds a list of versions; ``write`` appends, ``read``
-    returns the newest, and ``restore`` pops dirty versions (an aborted
+    Built on the repo-wide chain representation
+    (:class:`~repro.core.mvcc.VersionChain`) — the same class the
+    multiversion scheduler and :class:`~repro.storage.versioned.
+    MultiversionStore` order their versions with.  The flat executor
+    contract carries no transaction ids, so each ``write`` installs
+    under a fresh anonymous writer id (negative, so it can never collide
+    with a real transaction or the virtual ``T_0``); ``read`` returns
+    the newest version, and ``restore`` pops dirty versions (an aborted
     writer's undo truncates the chain back to the restored value) so the
     executor's rollback story works unchanged.  ``read_version`` and
     ``versions_of`` expose the history for tests and tooling.
     """
 
     def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
-        self._chains: dict[str, list[Any]] = {
-            item: [value] for item, value in (initial or {}).items()
-        }
+        from ..core.mvcc import VersionChain
+
+        self._chains: dict[str, VersionChain] = {}
+        for item, value in (initial or {}).items():
+            self._chains[item] = VersionChain(value)
+        self._next_anonymous = -1
         self.reads = 0
         self.writes = 0
+
+    def _values(self, item: str) -> list[Any]:
+        chain = self._chains.get(item)
+        if chain is None:
+            return []
+        return [
+            version.value
+            for version in chain.versions
+            if version.has_value()
+        ]
 
     # -- protocol surface ----------------------------------------------
     def read(self, item: str, default: Any = 0) -> Any:
         self.reads += 1
-        chain = self._chains.get(item)
-        return chain[-1] if chain else default
+        values = self._values(item)
+        return values[-1] if values else default
 
     def peek(self, item: str, default: Any = None) -> Any:
-        chain = self._chains.get(item)
-        return chain[-1] if chain else default
+        values = self._values(item)
+        return values[-1] if values else default
 
     def write(self, item: str, value: Any) -> Any:
+        from ..core.mvcc import VersionChain
+
         self.writes += 1
-        chain = self._chains.setdefault(item, [])
-        previous = chain[-1] if chain else None
-        chain.append(value)
+        chain = self._chains.get(item)
+        if chain is None:
+            chain = self._chains[item] = VersionChain()
+        values = self._values(item)
+        previous = values[-1] if values else None
+        chain.install(self._next_anonymous, value)
+        self._next_anonymous -= 1
         return previous
 
     def restore(self, item: str, value: Any) -> None:
@@ -141,26 +166,38 @@ class VersionedBackend:
             return
         # Truncate dirty versions back to the restored value; if it is
         # not on the chain (reparented before-image), rewrite the tip.
-        while chain and chain[-1] != value:
-            chain.pop()
-        if not chain:
-            chain.append(value)
+        versions = chain.versions
+        while len(versions) > 1 and versions[-1].value != value:
+            versions.pop()
+        tip = versions[-1]
+        if tip.has_value() and tip.value == value:
+            return
+        # Nothing matched down to the base version: drop a stale initial
+        # value and reinstate the before-image as the only version.
+        from ..core.mvcc import NO_VALUE
+
+        tip.value = NO_VALUE
+        chain.install(self._next_anonymous, value)
+        self._next_anonymous -= 1
 
     def snapshot(self) -> dict[str, Any]:
-        return {
-            item: chain[-1] for item, chain in self._chains.items() if chain
-        }
+        snapshot = {}
+        for item in self._chains:
+            values = self._values(item)
+            if values:
+                snapshot[item] = values[-1]
+        return snapshot
 
     # -- history surface -----------------------------------------------
     def read_version(self, item: str, index: int, default: Any = None) -> Any:
-        chain = self._chains.get(item, [])
+        values = self._values(item)
         try:
-            return chain[index]
+            return values[index]
         except IndexError:
             return default
 
     def versions_of(self, item: str) -> tuple[Any, ...]:
-        return tuple(self._chains.get(item, ()))
+        return tuple(self._values(item))
 
     def __len__(self) -> int:
         return len(self._chains)

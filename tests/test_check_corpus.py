@@ -70,6 +70,45 @@ def test_full_cross_check_passes(path):
     assert violations == [], [v.to_dict() for v in violations]
 
 
+MVMT_CASES = [path for path in CASES if "mvmt" in _load(path)["expect"]]
+
+
+@pytest.mark.parametrize("path", MVMT_CASES, ids=lambda p: p.stem)
+def test_mvmt_oracle_surface_is_frozen(path):
+    """PR-10 drift guard: beyond the acceptance bit, the MVMT chain
+    rebuild must reproduce the frozen reads-from relation and version
+    chains exactly — a visibility-walk or installation change that
+    keeps acceptance but shifts *which* version a read is served from
+    trips here."""
+    from repro.core.multiversion import MVMTkScheduler
+
+    case = _load(path)
+    log = Log.parse(case["log"])
+    for name, frozen in case["expect"]["mvmt"].items():
+        k = int(name.removeprefix("mv"))
+        scheduler = MVMTkScheduler(k)
+        assert scheduler.accepts(log) == frozen["accepts"], name
+        got_reads = sorted(
+            [reader, item, source]
+            for reader, item, source in scheduler.reads_from()
+        )
+        assert got_reads == sorted(frozen["reads_from"]), name
+        got_chains = {
+            item: scheduler.version_chain(item) for item in frozen["chains"]
+        }
+        assert got_chains == frozen["chains"], name
+
+
+def test_mvmt_corpus_cases_present():
+    names = {path.stem for path in CASES}
+    assert {
+        "mvmt_late_reader",
+        "mvmt_hot_chain",
+        "mvmt_interleaved_writers",
+        "mvmt_write_invalidation",
+    } <= names
+
+
 def test_pr1_bug_cases_present():
     names = {path.stem for path in CASES}
     assert {

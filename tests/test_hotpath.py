@@ -333,7 +333,7 @@ class TestParallelBench:
             stripped[name] = {
                 key: value
                 for key, value in result.items()
-                if key not in ("throughput", "wall_ms")
+                if key not in ("throughput", "ops_rate", "wall_ms")
             }
         return stripped
 

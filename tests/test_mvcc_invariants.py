@@ -1,0 +1,220 @@
+"""Version-chain invariants for the rebuilt MVMT(k) (PR 10).
+
+Property suite over the multiversion storage/visibility split:
+
+* chain ordering is *total* per item (writer vectors strictly ascend),
+* ``read_source`` is stable — replaying the identical log after a
+  ``reset()`` reproduces the oracle surface bit-for-bit (the PR-1
+  ``reset()`` bug family, now for chains/indices),
+* garbage collection never reclaims a version a live transaction can
+  still see (resolutions before and after a collection agree),
+* the executor's abort path leaves no aborted writer in any chain even
+  under an abort storm (the ``prune_aborted`` hook), and
+* the commit-dependency gate: dirty readers park, commit when their
+  source commits, cascade when it rolls back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiversion import MVMTkScheduler
+from repro.core.mvcc import VisibilityEngine
+from repro.core.table import VIRTUAL_TXN
+from repro.model.generator import WorkloadSpec, generate_transactions, random_log
+from repro.model.log import Log
+from tests.conftest import small_logs
+
+
+def _oracle_surface(scheduler: MVMTkScheduler, log: Log):
+    accepted = scheduler.accepts(log)
+    return (
+        accepted,
+        sorted(scheduler.reads_from()),
+        {item: scheduler.version_chain(item) for item in log.items},
+        {
+            (txn, item): scheduler.read_source(txn, item)
+            for txn in log.transactions
+            for item in log.items
+        },
+    )
+
+
+class TestChainTotalOrdering:
+    @given(small_logs(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=200)
+    def test_every_chain_is_totally_ordered(self, log, k):
+        """The visibility engine's core invariant: installs only append,
+        so writer vectors strictly ascend along every chain."""
+        scheduler = MVMTkScheduler(k)
+        scheduler.run(log, stop_on_reject=True)
+        engine: VisibilityEngine = scheduler.visibility
+        for chain in scheduler.chains().values():
+            assert engine.chain_is_ordered(chain)
+
+    @given(small_logs())
+    @settings(max_examples=100)
+    def test_commit_aware_walk_keeps_chains_ordered(self, log):
+        """Same invariant with the pipeline's commit-aware oracle wired
+        in (detour pins must not break the append-only discipline)."""
+        scheduler = MVMTkScheduler(3, commit_aware=True)
+        scheduler.run(log, stop_on_reject=True)
+        for chain in scheduler.chains().values():
+            assert scheduler.visibility.chain_is_ordered(chain)
+
+
+class TestResetThenReplay:
+    @given(small_logs(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=200)
+    def test_replay_after_reset_is_identical(self, log, k):
+        """Satellite: ``reset()`` must fully rebuild chains and indices —
+        a stale chain or visibility table would shift decisions or the
+        reads-from relation on the second run."""
+        scheduler = MVMTkScheduler(k)
+        first = _oracle_surface(scheduler, log)
+        second = _oracle_surface(scheduler, log)  # accepts() resets first
+        assert first == second
+
+    def test_reset_rebinds_visibility_engine(self):
+        """The engine must compare against the *current* table — holding
+        the pre-reset oracle would replay the PR-1 reset bug family."""
+        scheduler = MVMTkScheduler(2)
+        before = scheduler.visibility
+        scheduler.accepts(Log.parse("W1[x] R2[x]"))
+        scheduler.reset()
+        assert scheduler.visibility is not before
+        assert scheduler.version_chain("x") == [VIRTUAL_TXN]
+
+
+class TestGCVisibility:
+    @given(small_logs(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=200)
+    def test_collection_preserves_live_resolutions(self, log, commits):
+        """GC never reclaims a version a live transaction could still
+        read: with an arbitrary prefix of transactions committed, every
+        active transaction resolves each item to the same version before
+        and after ``collect_chain_garbage``."""
+        scheduler = MVMTkScheduler(3)
+        scheduler.run(log, stop_on_reject=True)
+        txns = sorted(log.transactions)
+        for txn in txns[:commits]:
+            if txn not in scheduler.aborted:
+                scheduler.commit(txn)
+        # Aborted transactions are excluded: GC deliberately drops them
+        # from the watermark's active set (their restart re-enters with a
+        # fresh vector), so their stale resolutions may legally change.
+        active = [
+            t
+            for t in txns[commits:]
+            if t not in scheduler.aborted
+        ]
+        before = {
+            (txn, item): resolution.source
+            for txn in active
+            for item, chain in scheduler.chains().items()
+            for resolution in [scheduler.visibility.resolve_read(chain, txn)]
+            if resolution is not None and not resolution.skip
+        }
+        scheduler.collect_chain_garbage()
+        for (txn, item), source in before.items():
+            resolution = scheduler.visibility.resolve_read(
+                scheduler.chains()[item], txn
+            )
+            assert resolution is not None, (txn, item)
+            assert resolution.source == source
+
+    @given(small_logs())
+    @settings(max_examples=100)
+    def test_collection_keeps_chains_servable(self, log):
+        """Even with everything committed, a collected chain still
+        serves at least one version (the watermark survives)."""
+        scheduler = MVMTkScheduler(3)
+        scheduler.run(log, stop_on_reject=True)
+        for txn in log.transactions:
+            scheduler.commit(txn)
+        scheduler.collect_chain_garbage()
+        for item in log.items:
+            assert len(scheduler.version_chain(item)) >= 1
+
+
+class TestAbortStormPruning:
+    def test_no_aborted_writer_lingers_after_storm(self):
+        """Satellite: drive a write-heavy hot-set workload through the
+        executor with a tight retry budget (an abort storm) and assert
+        the ``prune_aborted`` hook left no aborted version behind — and
+        that chains stay bounded by the committed-writer count."""
+        from repro.engine.pipeline import PipelineExecutor
+
+        spec = WorkloadSpec(
+            num_txns=24, ops_per_txn=5, num_items=4, write_ratio=0.8,
+            skew=1.2,
+        )
+        txns = generate_transactions(spec, random.Random(7))
+        scheduler = MVMTkScheduler(3, commit_aware=True)
+        executor = PipelineExecutor(scheduler, max_attempts=3)
+        report = executor.execute(txns, seed=7)
+        executor.close()
+        assert report.restarts > 0  # the storm actually happened
+        allowed = set(report.committed) | {VIRTUAL_TXN}
+        for item, chain in scheduler.chains().items():
+            writers = chain.writers()
+            assert set(writers) <= allowed, (item, writers)
+            assert len(writers) <= len(allowed)
+            # Read records of failed transactions are pruned too.
+            readers = {reader for reader, _ in chain.reads}
+            assert readers <= allowed | set(report.committed)
+
+
+class TestCommitDependencies:
+    def _service(self):
+        from repro.engine.pipeline.sessions import TransactionService
+
+        return TransactionService(k=2, protocol="mvmt")
+
+    def test_dirty_reader_parks_until_source_commits(self):
+        """T1 reads T2's uncommitted version (T1 was already ordered
+        above T2, so the commit-aware walk cannot detour) and finishes
+        first: it must park, then commit after T2 does."""
+        svc = self._service()
+        log = Log.parse("W1[z] R2[z] W2[x] R1[x] R2[y]")
+        svc.submit_programs(list(log.transactions.values()))
+        report = svc.run(schedule=log)
+        assert sorted(report.committed) == [1, 2]
+        assert not report.failed
+        assert svc.executor.stats.get("commit_parks", 0) >= 1
+
+    def test_source_rollback_cascades_the_reader(self):
+        """Extend the park scenario so the source's next write is
+        rejected: the parked dirty reader must cascade-restart (not
+        commit a read of a retracted version) and both must finish."""
+        svc = self._service()
+        log = Log.parse("W1[z] R2[z] W2[x] R1[x] W1[y] W2[y]")
+        svc.submit_programs(list(log.transactions.values()))
+        report = svc.run(schedule=log)
+        assert sorted(report.committed) == [1, 2]
+        assert svc.executor.stats.get("cascade_restarts", 0) >= 1
+        # The final state is clean: every surviving read comes from a
+        # committed writer or the initial version.
+        committed = set(report.committed) | {VIRTUAL_TXN}
+        for reader, _item, source in svc.scheduler.reads_from():
+            assert source in committed
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_committed_reads_never_source_uncommitted(self, seed):
+        """Recoverability, fuzzed: whatever the interleaving, a committed
+        transaction's reads only come from committed sources (the park /
+        cascade machinery closes the dirty-read window)."""
+        spec = WorkloadSpec(
+            num_txns=8, ops_per_txn=4, num_items=6, write_ratio=0.5
+        )
+        log = random_log(spec, random.Random(seed))
+        svc = self._service()
+        svc.submit_programs(list(log.transactions.values()))
+        report = svc.run(schedule=log)
+        committed = set(report.committed) | {VIRTUAL_TXN}
+        for reader, _item, source in svc.scheduler.reads_from():
+            if reader in committed:
+                assert source in committed, (reader, source)

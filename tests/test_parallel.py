@@ -202,7 +202,7 @@ class TestAntiStarvation:
         schedulers (not just the legacy executor path)."""
         spec = ShardSpec(n_shards=2, k=2, anti_starvation=True)
         plane = ParallelShardSet(spec, workers=0, window=4)
-        assert plane._config[-1] is True
+        assert plane._config[3] is True
         plane.close()
 
 
